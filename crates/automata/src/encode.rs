@@ -1,0 +1,456 @@
+//! Encoding netlists as Automata-theory terms.
+//!
+//! The formal retiming step of `hash-core` manipulates circuits as logical
+//! terms `automaton (\i s. g i (f s)) q`. This module builds that term from
+//! a [`Netlist`] and a retiming [`Cut`]: the cut cells become the block `f`,
+//! everything else (including the computation of all next-state values)
+//! becomes the block `g`, and the registers become the state tuple with the
+//! moved registers first.
+//!
+//! Internal signals are bound with `let`-style beta redexes so the term
+//! size stays linear in the number of cells.
+
+use crate::theory::{mk_automaton, mk_literal, op_const};
+use hash_logic::pair::{mk_pair, mk_tuple, tuple_project};
+use hash_logic::prelude::*;
+use hash_netlist::prelude::*;
+use hash_logic::error::Result;
+use hash_retiming::prelude::{analyze_forward_cut, Cut};
+use std::collections::BTreeMap;
+
+/// The term-level encoding of a circuit split along a retiming cut.
+#[derive(Clone, Debug)]
+pub struct SplitEncoding {
+    /// The block `f`: `\s. mid` — the cut cells plus the pass-through of
+    /// the registers that are not moved.
+    pub f_term: TermRef,
+    /// The block `g`: `\i x. (outputs, next-state)` — everything else.
+    pub g_term: TermRef,
+    /// The initial state `q` as a tuple of literals (moved registers first).
+    pub init_term: TermRef,
+    /// The combinational function `\i s. g i (f s)`.
+    pub comb_term: TermRef,
+    /// The complete circuit term `automaton comb q`.
+    pub circuit_term: TermRef,
+    /// The input tuple type.
+    pub input_ty: Type,
+    /// The state tuple type (moved registers first, then kept registers).
+    pub state_ty: Type,
+    /// The intermediate type produced by `f` (cut outputs, then kept
+    /// registers).
+    pub mid_ty: Type,
+    /// The output tuple type.
+    pub output_ty: Type,
+    /// Indices (into `netlist.registers()`) of the moved registers, in
+    /// state-tuple order.
+    pub moved_registers: Vec<usize>,
+    /// Indices of the registers that stay in place, in state-tuple order
+    /// after the moved ones.
+    pub kept_registers: Vec<usize>,
+    /// The signals registered after retiming (the cut outputs), in
+    /// mid-tuple order.
+    pub cut_outputs: Vec<SignalId>,
+}
+
+struct Encoder<'a> {
+    netlist: &'a Netlist,
+    producer: BTreeMap<SignalId, usize>,
+}
+
+impl<'a> Encoder<'a> {
+    fn signal_var(&self, id: SignalId) -> Result<Var> {
+        let sig = self
+            .netlist
+            .signal(id)
+            .map_err(|e| LogicError::theory(e.to_string()))?;
+        Ok(Var::new(
+            format!("{}_{}", sig.name, id.index()),
+            Type::bv(sig.width),
+        ))
+    }
+
+    /// Wraps `body` in let-bindings for the given cells (in topological
+    /// order), where each cell's defining expression is produced by
+    /// `cell_expr`.
+    fn with_lets(
+        &self,
+        theory: &mut Theory,
+        cells: &[usize],
+        env: &BTreeMap<SignalId, TermRef>,
+        body: TermRef,
+    ) -> Result<TermRef> {
+        // Build definitions first (they may only reference earlier cells).
+        let mut env = env.clone();
+        let mut defs: Vec<(Var, TermRef)> = Vec::new();
+        for &ci in cells {
+            let cell = &self.netlist.cells()[ci];
+            let widths: Vec<u32> = cell
+                .inputs
+                .iter()
+                .map(|s| self.netlist.width(*s).unwrap_or(1))
+                .collect();
+            let op_term = op_const(theory, &cell.op, &widths)?;
+            let args: Vec<TermRef> = cell
+                .inputs
+                .iter()
+                .map(|s| {
+                    env.get(s).cloned().ok_or_else(|| {
+                        LogicError::theory(format!(
+                            "signal {} is not available in this block",
+                            self.netlist.signals()[s.index()].name
+                        ))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let expr = list_mk_comb(&op_term, &args)?;
+            let var = self.signal_var(cell.output)?;
+            env.insert(cell.output, var.term());
+            defs.push((var, expr));
+        }
+        // The caller builds `body` against the same environment, so rebuild
+        // it here using the final env via substitution-free construction:
+        // `body` was built by the caller with `lookup` closures over the
+        // same env — instead we simply wrap the provided body.
+        let mut acc = body;
+        for (var, expr) in defs.into_iter().rev() {
+            acc = mk_comb(&mk_abs(&var, &acc), &expr)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// Splits the netlist along the cut and encodes it as Automata-theory
+/// terms.
+///
+/// # Errors
+///
+/// Fails if the cut does not satisfy the retiming pattern (see
+/// [`analyze_forward_cut`]) or the encoding runs into a type error.
+pub fn encode_split(theory: &mut Theory, netlist: &Netlist, cut: &Cut) -> Result<SplitEncoding> {
+    let boundary = analyze_forward_cut(netlist, cut)
+        .map_err(|e| LogicError::theory(format!("cut does not match the pattern: {e}")))?;
+    let order = netlist
+        .topo_order()
+        .map_err(|e| LogicError::theory(e.to_string()))?;
+    let cut_set: std::collections::BTreeSet<usize> = cut.cells.iter().copied().collect();
+    let f_cells: Vec<usize> = order.iter().copied().filter(|c| cut_set.contains(c)).collect();
+    let g_cells: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|c| !cut_set.contains(c))
+        .collect();
+
+    let moved_registers = boundary.input_registers.clone();
+    let kept_registers: Vec<usize> = (0..netlist.registers().len())
+        .filter(|i| !moved_registers.contains(i))
+        .collect();
+    let cut_outputs = boundary.output_signals.clone();
+
+    let producer: BTreeMap<SignalId, usize> = netlist
+        .cells()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.output, i))
+        .collect();
+    let enc = Encoder { netlist, producer };
+    let _ = &enc.producer;
+
+    let reg_width = |i: usize| netlist.registers()[i].init.width();
+
+    // Types.
+    let input_widths: Vec<u32> = netlist
+        .inputs()
+        .iter()
+        .map(|s| netlist.width(*s).unwrap_or(1))
+        .collect();
+    let input_ty = Type::prod_list(&input_widths.iter().map(|w| Type::bv(*w)).collect::<Vec<_>>());
+    let state_widths: Vec<u32> = moved_registers
+        .iter()
+        .chain(kept_registers.iter())
+        .map(|&i| reg_width(i))
+        .collect();
+    let state_ty = Type::prod_list(&state_widths.iter().map(|w| Type::bv(*w)).collect::<Vec<_>>());
+    let mid_widths: Vec<u32> = cut_outputs
+        .iter()
+        .map(|s| netlist.width(*s).unwrap_or(1))
+        .chain(kept_registers.iter().map(|&i| reg_width(i)))
+        .collect();
+    let mid_ty = Type::prod_list(&mid_widths.iter().map(|w| Type::bv(*w)).collect::<Vec<_>>());
+    let output_widths: Vec<u32> = netlist
+        .outputs()
+        .iter()
+        .map(|s| netlist.width(*s).unwrap_or(1))
+        .collect();
+    let output_ty =
+        Type::prod_list(&output_widths.iter().map(|w| Type::bv(*w)).collect::<Vec<_>>());
+
+    let state_arity = state_widths.len().max(1);
+    let mid_arity = mid_widths.len().max(1);
+    let input_arity = input_widths.len().max(1);
+
+    // ---- f = \s. (cut outputs..., kept registers...) ----------------------
+    let s_var = Var::new("s", state_ty.clone());
+    let mut f_env: BTreeMap<SignalId, TermRef> = BTreeMap::new();
+    for (pos, &ri) in moved_registers.iter().enumerate() {
+        let q = netlist.registers()[ri].output;
+        f_env.insert(q, tuple_project(&s_var.term(), pos, state_arity)?);
+    }
+    for (k, &ri) in kept_registers.iter().enumerate() {
+        let q = netlist.registers()[ri].output;
+        f_env.insert(
+            q,
+            tuple_project(&s_var.term(), moved_registers.len() + k, state_arity)?,
+        );
+    }
+    // The f body references cut-cell outputs through their let variables.
+    let mut f_body_env = f_env.clone();
+    for &ci in &f_cells {
+        let out = netlist.cells()[ci].output;
+        f_body_env.insert(out, enc.signal_var(out)?.term());
+    }
+    let mut f_components: Vec<TermRef> = Vec::new();
+    for s in &cut_outputs {
+        f_components.push(f_body_env.get(s).cloned().ok_or_else(|| {
+            LogicError::theory("cut output is not produced by the cut".to_string())
+        })?);
+    }
+    for &ri in &kept_registers {
+        let q = netlist.registers()[ri].output;
+        f_components.push(f_env[&q].clone());
+    }
+    let f_tuple = mk_tuple(&f_components)?;
+    let f_with_lets = enc.with_lets(theory, &f_cells, &f_env, f_tuple)?;
+    let f_term = mk_abs(&s_var, &f_with_lets);
+
+    // ---- g = \i x. (outputs, next state) -----------------------------------
+    let i_var = Var::new("i", input_ty.clone());
+    let x_var = Var::new("x", mid_ty.clone());
+    let mut g_env: BTreeMap<SignalId, TermRef> = BTreeMap::new();
+    for (pos, s) in netlist.inputs().iter().enumerate() {
+        g_env.insert(*s, tuple_project(&i_var.term(), pos, input_arity)?);
+    }
+    for (pos, s) in cut_outputs.iter().enumerate() {
+        g_env.insert(*s, tuple_project(&x_var.term(), pos, mid_arity)?);
+    }
+    for (k, &ri) in kept_registers.iter().enumerate() {
+        let q = netlist.registers()[ri].output;
+        g_env.insert(
+            q,
+            tuple_project(&x_var.term(), cut_outputs.len() + k, mid_arity)?,
+        );
+    }
+    let mut g_body_env = g_env.clone();
+    for &ci in &g_cells {
+        let out = netlist.cells()[ci].output;
+        g_body_env.insert(out, enc.signal_var(out)?.term());
+    }
+    let lookup_g = |s: &SignalId| -> Result<TermRef> {
+        g_body_env.get(s).cloned().ok_or_else(|| {
+            LogicError::theory(format!(
+                "signal {} is not available to the block g",
+                netlist.signals()[s.index()].name
+            ))
+        })
+    };
+    let out_components: Vec<TermRef> = netlist
+        .outputs()
+        .iter()
+        .map(lookup_g)
+        .collect::<Result<_>>()?;
+    let next_components: Vec<TermRef> = moved_registers
+        .iter()
+        .chain(kept_registers.iter())
+        .map(|&ri| lookup_g(&netlist.registers()[ri].input))
+        .collect::<Result<_>>()?;
+    let g_pair = mk_pair(&mk_tuple(&out_components)?, &mk_tuple(&next_components)?)?;
+    let g_with_lets = enc.with_lets(theory, &g_cells, &g_env, g_pair)?;
+    let g_term = mk_abs(&i_var, &mk_abs(&x_var, &g_with_lets));
+
+    // ---- initial state, combinational function and circuit term ------------
+    let init_components: Vec<TermRef> = moved_registers
+        .iter()
+        .chain(kept_registers.iter())
+        .map(|&ri| mk_literal(&netlist.registers()[ri].init))
+        .collect();
+    let init_term = mk_tuple(&init_components)?;
+
+    let i2 = Var::new("i", input_ty.clone());
+    let s2 = Var::new("s", state_ty.clone());
+    let applied = mk_comb(
+        &mk_comb(&g_term, &i2.term())?,
+        &mk_comb(&f_term, &s2.term())?,
+    )?;
+    let comb_term = mk_abs(&i2, &mk_abs(&s2, &applied));
+    let circuit_term = mk_automaton(&comb_term, &init_term)?;
+
+    Ok(SplitEncoding {
+        f_term,
+        g_term,
+        init_term,
+        comb_term,
+        circuit_term,
+        input_ty,
+        state_ty,
+        mid_ty,
+        output_ty,
+        moved_registers,
+        kept_registers,
+        cut_outputs,
+    })
+}
+
+/// Extracts the bit-vector values of a fully evaluated (ground) state tuple
+/// term, in tuple order.
+///
+/// # Errors
+///
+/// Fails if the term is not a right-nested tuple of literal constants.
+pub fn literal_tuple_values(t: &TermRef) -> Result<Vec<BitVec>> {
+    hash_logic::pair::strip_tuple(t)
+        .iter()
+        .map(|part| {
+            let c = part.dest_const()?;
+            crate::theory::parse_literal(&c.name, &c.ty).ok_or_else(|| {
+                LogicError::ill_formed(
+                    "literal_tuple_values",
+                    format!("not a literal constant: {part}"),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Demonstrates the paper's Figure-4 point: for a *false* cut the equality
+/// between the original combinational function and the wrongly split one
+/// cannot even be expressed, because the two sides have different types.
+/// Returns the kernel's type-mismatch error.
+///
+/// # Errors
+///
+/// Always fails (that is the point); the interesting case is the
+/// [`LogicError::TypeMismatch`] produced when the false cut changes the
+/// state arity.
+pub fn false_cut_equation(
+    theory: &mut Theory,
+    netlist: &Netlist,
+    good_cut: &Cut,
+    false_cut_cells: &[usize],
+) -> Result<TermRef> {
+    let good = encode_split(theory, netlist, good_cut)?;
+    // Build the "combinational function" the false cut would require:
+    // a function of the state restricted to the registers actually read by
+    // the false block — its type differs from the original whenever the
+    // false cut reads a different set of registers.
+    let cells = netlist.cells();
+    let mut widths: Vec<Type> = Vec::new();
+    for &ci in false_cut_cells {
+        if ci >= cells.len() {
+            return Err(LogicError::theory(format!("cell index {ci} out of range")));
+        }
+        for inp in &cells[ci].inputs {
+            if netlist.registers().iter().any(|r| r.output == *inp) {
+                widths.push(Type::bv(netlist.width(*inp).unwrap_or(1)));
+            }
+        }
+    }
+    let false_state_ty = Type::prod_list(&widths);
+    let s = Var::new("s", false_state_ty);
+    let body = s.term();
+    let false_comb = mk_abs(
+        &Var::new("i", good.input_ty.clone()),
+        &mk_abs(&s, &body),
+    );
+    // The kernel refuses to build the equation: different types.
+    mk_eq(&good.comb_term, &false_comb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hash_circuits::figure2::Figure2;
+
+    fn setup() -> (Theory, BoolTheory, PairTheory, crate::theory::AutomataTheory) {
+        let mut thy = Theory::new();
+        let b = BoolTheory::install(&mut thy).unwrap();
+        let p = PairTheory::install(&mut thy).unwrap();
+        let a = crate::theory::AutomataTheory::install(&mut thy).unwrap();
+        (thy, b, p, a)
+    }
+
+    #[test]
+    fn figure2_encodes_with_expected_types() {
+        let (mut thy, _, _, _) = setup();
+        let fig = Figure2::new(8);
+        let enc = encode_split(&mut thy, &fig.netlist, &fig.correct_cut()).unwrap();
+        // State = (moved d0 : bv8, kept d1 : bv1).
+        assert_eq!(enc.state_ty, Type::prod(Type::bv(8), Type::bv(1)));
+        // Mid = (inc output : bv8, kept d1 : bv1).
+        assert_eq!(enc.mid_ty, Type::prod(Type::bv(8), Type::bv(1)));
+        assert_eq!(enc.output_ty, Type::bv(8));
+        assert_eq!(enc.moved_registers.len(), 1);
+        assert_eq!(enc.kept_registers.len(), 1);
+        // The circuit term is an automaton application over the comb term.
+        let (comb, init) = crate::theory::dest_automaton(&enc.circuit_term).unwrap();
+        assert!(comb.aconv(&enc.comb_term));
+        assert!(init.aconv(&enc.init_term));
+        // Types of the blocks.
+        assert_eq!(
+            enc.f_term.ty().unwrap(),
+            Type::fun(enc.state_ty.clone(), enc.mid_ty.clone())
+        );
+        assert_eq!(
+            enc.g_term.ty().unwrap(),
+            Type::fun(
+                enc.input_ty.clone(),
+                Type::fun(enc.mid_ty.clone(), Type::prod(enc.output_ty.clone(), enc.state_ty.clone()))
+            )
+        );
+    }
+
+    #[test]
+    fn initial_state_is_a_literal_tuple() {
+        let (mut thy, _, _, _) = setup();
+        let fig = Figure2::new(4);
+        let enc = encode_split(&mut thy, &fig.netlist, &fig.correct_cut()).unwrap();
+        let values = literal_tuple_values(&enc.init_term).unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0].as_u64(), 0);
+        assert_eq!(values[1].as_u64(), 0);
+    }
+
+    #[test]
+    fn false_cut_produces_type_mismatch() {
+        let (mut thy, _, _, _) = setup();
+        let fig = Figure2::new(8);
+        let err = false_cut_equation(
+            &mut thy,
+            &fig.netlist,
+            &fig.correct_cut(),
+            &fig.false_cut().cells,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LogicError::TypeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn evaluating_f_on_the_initial_state_gives_f_q() {
+        let (mut thy, _, p, _) = setup();
+        let fig = Figure2::new(8);
+        let enc = encode_split(&mut thy, &fig.netlist, &fig.correct_cut()).unwrap();
+        let fq = mk_comb(&enc.f_term, &enc.init_term).unwrap();
+        let th = crate::theory::eval_ground(&thy, &p, &fq).unwrap();
+        let (_, value) = th.dest_eq().unwrap();
+        let values = literal_tuple_values(&value).unwrap();
+        // f(0, d1=0) = (0 + 1, 0).
+        assert_eq!(values[0].as_u64(), 1);
+        assert_eq!(values[1].as_u64(), 0);
+    }
+
+    #[test]
+    fn bad_cut_is_rejected_by_the_encoder() {
+        let (mut thy, _, _, _) = setup();
+        let fig = Figure2::new(4);
+        let err = encode_split(&mut thy, &fig.netlist, &fig.false_cut()).unwrap_err();
+        assert!(err.to_string().contains("cut does not match"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # hash-automata
+//!
+//! The Automata theory bridge of the DATE'97 HASH retiming reproduction:
+//! synchronous circuits as `(combinational function, initial state)` pairs
+//! inside the logic of [`hash_logic`].
+//!
+//! * [`theory`] installs the logical vocabulary: the `automaton` constant,
+//!   bit-vector literals and operators, the trusted evaluation rule used to
+//!   compute new initial register values, and the `AUTOMATON_BISIM` axiom
+//!   from which `hash-core` derives the universal retiming theorem.
+//! * [`encode`] translates a [`hash_netlist::Netlist`] plus a retiming cut
+//!   into the term `automaton (\i s. g i (f s)) q` manipulated by the
+//!   formal synthesis procedure.
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_automata::encode::encode_split;
+//! use hash_automata::theory::AutomataTheory;
+//! use hash_circuits::figure2::Figure2;
+//! use hash_logic::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! let mut theory = Theory::new();
+//! BoolTheory::install(&mut theory)?;
+//! PairTheory::install(&mut theory)?;
+//! AutomataTheory::install(&mut theory)?;
+//!
+//! let fig = Figure2::new(8);
+//! let enc = encode_split(&mut theory, &fig.netlist, &fig.correct_cut())?;
+//! assert!(enc.circuit_term.head_is_const("automaton"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod encode;
+pub mod theory;
+
+pub use encode::{encode_split, literal_tuple_values, SplitEncoding};
+pub use theory::{dest_automaton, mk_automaton, mk_literal, AutomataTheory};

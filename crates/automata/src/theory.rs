@@ -1,0 +1,377 @@
+//! The Automata theory: the logical vocabulary for synchronous circuits.
+//!
+//! Following the paper (and its reference \[10\], "An automata theory
+//! dedicated towards formal circuit synthesis"), a synchronous circuit is
+//! represented by a pair of a combinational function and an initial state;
+//! the constant `automaton` maps such a pair to the behaviour (a function
+//! from input streams to output streams). This module installs into a
+//! [`Theory`]:
+//!
+//! * the `automaton` constant,
+//! * bit-vector literal constants and operator constants mirroring the
+//!   RT-level operators of [`hash_netlist`],
+//! * trusted *computation rules* that evaluate those operators on literal
+//!   values (used for step 4 of the retiming procedure, computing `f(q)`),
+//! * the `AUTOMATON_BISIM` axiom — the induction ("bisimulation") principle
+//!   from which `hash-core` derives the universal retiming theorem once and
+//!   for all.
+
+use hash_logic::bool::{list_mk_forall, mk_conj, mk_imp};
+use hash_logic::pair::{mk_fst, mk_snd};
+use hash_logic::prelude::*;
+use hash_netlist::prelude::{BitVec, CombOp};
+use std::rc::Rc;
+
+/// The behaviour type constructor `beh(input, output)`.
+pub fn beh_ty(input: &Type, output: &Type) -> Type {
+    Type::Con("beh".to_string(), vec![input.clone(), output.clone()])
+}
+
+/// The type of a combinational function `input -> state -> (output # state)`.
+pub fn comb_ty(input: &Type, state: &Type, output: &Type) -> Type {
+    Type::fun(
+        input.clone(),
+        Type::fun(state.clone(), Type::prod(output.clone(), state.clone())),
+    )
+}
+
+/// The generic type of the `automaton` constant.
+pub fn automaton_generic_ty() -> Type {
+    let i = Type::var("i");
+    let o = Type::var("o");
+    let s = Type::var("s");
+    Type::fun(
+        comb_ty(&i, &s, &o),
+        Type::fun(s.clone(), beh_ty(&i, &o)),
+    )
+}
+
+/// Builds the term `automaton comb init`.
+///
+/// # Errors
+///
+/// Fails if the argument types do not fit the `automaton` signature.
+pub fn mk_automaton(comb: &TermRef, init: &TermRef) -> Result<TermRef> {
+    let cty = comb.ty()?;
+    let (input, rest) = cty.dest_fun()?;
+    let (state, out_pair) = rest.dest_fun()?;
+    let (output, _) = out_pair.dest_prod()?;
+    let a = mk_const(
+        "automaton",
+        Type::fun(
+            cty.clone(),
+            Type::fun(state.clone(), beh_ty(input, output)),
+        ),
+    );
+    list_mk_comb(&a, &[Rc::clone(comb), Rc::clone(init)])
+}
+
+/// Destructs `automaton comb init` into `(comb, init)`.
+///
+/// # Errors
+///
+/// Fails if the term is not an `automaton` application.
+pub fn dest_automaton(t: &TermRef) -> Result<(TermRef, TermRef)> {
+    let (head, args) = t.strip_comb();
+    match head.dest_const() {
+        Ok(c) if c.name == "automaton" && args.len() == 2 => {
+            Ok((args[0].clone(), args[1].clone()))
+        }
+        _ => Err(LogicError::ill_formed(
+            "dest_automaton",
+            format!("not an automaton term: {t}"),
+        )),
+    }
+}
+
+/// The name of the literal constant for a bit-vector value.
+pub fn literal_name(value: &BitVec) -> String {
+    format!("#{}w{}", value.as_u64(), value.width())
+}
+
+/// Builds the literal term for a bit-vector value.
+pub fn mk_literal(value: &BitVec) -> TermRef {
+    mk_const(literal_name(value), Type::bv(value.width()))
+}
+
+/// Parses a literal constant name back into a bit-vector value.
+pub fn parse_literal(name: &str, ty: &Type) -> Option<BitVec> {
+    let rest = name.strip_prefix('#')?;
+    let (value, width) = rest.split_once('w')?;
+    let value: u64 = value.parse().ok()?;
+    let width: u32 = width.parse().ok()?;
+    if ty.bv_width() == Some(width) {
+        BitVec::new(value, width).ok()
+    } else {
+        None
+    }
+}
+
+/// The constant name used for an RT-level operator at the given operand
+/// widths (operators are monomorphic per operand-width signature, e.g.
+/// `add_w8_8` or `mux_w1_4_4`).
+pub fn op_name(op: &CombOp, widths: &[u32]) -> String {
+    let suffix = widths
+        .iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join("_");
+    match op {
+        CombOp::Slice { hi, lo } => format!("slice_{hi}_{lo}_w{suffix}"),
+        other => format!("{}_w{suffix}", other.name()),
+    }
+}
+
+/// The type of the operator constant for the given operand widths.
+///
+/// # Errors
+///
+/// Fails if the operator/width combination is invalid.
+pub fn op_ty(op: &CombOp, operand_widths: &[u32]) -> Result<Type> {
+    let out = op
+        .output_width(operand_widths)
+        .map_err(|e| LogicError::theory(format!("bad operator instance: {e}")))?;
+    let mut ty = Type::bv(out);
+    for w in operand_widths.iter().rev() {
+        ty = Type::fun(Type::bv(*w), ty);
+    }
+    Ok(ty)
+}
+
+/// The installed Automata theory.
+#[derive(Clone, Debug)]
+pub struct AutomataTheory {
+    /// The bisimulation/induction axiom over automata, used to derive the
+    /// retiming theorem.
+    pub bisim_axiom: Theorem,
+}
+
+impl AutomataTheory {
+    /// Installs the Automata theory: the `automaton` constant, the
+    /// evaluation computation rule for RT-level operators, and the
+    /// `AUTOMATON_BISIM` axiom.
+    ///
+    /// The boolean and pair theories must already be installed in `theory`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if required constants are missing or already declared with
+    /// other types.
+    pub fn install(theory: &mut Theory) -> Result<AutomataTheory> {
+        theory.declare_constant("automaton", automaton_generic_ty())?;
+
+        // Trusted computation rule: evaluate an operator constant applied to
+        // literal arguments. This is the paper's step 4 ("the new initial
+        // values of the shifted registers f(q) are determined via
+        // evaluation").
+        theory.new_delta_rule("bv_eval", |t| {
+            let (head, args) = t.strip_comb();
+            let c = head.dest_const().ok()?;
+            let mut values = Vec::new();
+            for a in &args {
+                let ac = a.dest_const().ok()?;
+                values.push(parse_literal(&ac.name, &ac.ty)?);
+            }
+            let op = parse_op_name(&c.name)?;
+            if op.arity() != values.len() {
+                return None;
+            }
+            let result = op.eval(&values).ok()?;
+            Some(mk_literal(&result))
+        })?;
+
+        // AUTOMATON_BISIM:
+        // ∀-closed:  R q1 q2
+        //         ∧ (∀ i s1 s2. R s1 s2 ==>
+        //               (fst (c1 i s1) = fst (c2 i s2))
+        //             ∧ R (snd (c1 i s1)) (snd (c2 i s2)))
+        //        ==> automaton c1 q1 = automaton c2 q2
+        let ity = Type::var("i");
+        let oty = Type::var("o");
+        let sty = Type::var("s");
+        let tty = Type::var("t");
+        let r = Var::new("R", Type::fun(sty.clone(), Type::fun(tty.clone(), Type::bool())));
+        let c1 = Var::new("c1", comb_ty(&ity, &sty, &oty));
+        let c2 = Var::new("c2", comb_ty(&ity, &tty, &oty));
+        let q1 = Var::new("q1", sty.clone());
+        let q2 = Var::new("q2", tty.clone());
+        let i = Var::new("i", ity.clone());
+        let s1 = Var::new("s1", sty.clone());
+        let s2 = Var::new("s2", tty.clone());
+
+        let r_q = list_mk_comb(&r.term(), &[q1.term(), q2.term()])?;
+        let r_s = list_mk_comb(&r.term(), &[s1.term(), s2.term()])?;
+        let c1_is = list_mk_comb(&c1.term(), &[i.term(), s1.term()])?;
+        let c2_is = list_mk_comb(&c2.term(), &[i.term(), s2.term()])?;
+        let out_eq = mk_eq(&mk_fst(&c1_is)?, &mk_fst(&c2_is)?)?;
+        let r_next = list_mk_comb(&r.term(), &[mk_snd(&c1_is)?, mk_snd(&c2_is)?])?;
+        let step = list_mk_forall(
+            &[i.clone(), s1.clone(), s2.clone()],
+            &mk_imp(&r_s, &mk_conj(&out_eq, &r_next)?)?,
+        )?;
+        let premise = mk_conj(&r_q, &step)?;
+        let lhs = mk_automaton(&c1.term(), &q1.term())?;
+        let rhs = mk_automaton(&c2.term(), &q2.term())?;
+        let body = mk_imp(&premise, &mk_eq(&lhs, &rhs)?)?;
+        let closed = list_mk_forall(&[r, c1, c2, q1, q2], &body)?;
+        let bisim_axiom = theory.new_axiom("AUTOMATON_BISIM", &closed)?;
+
+        Ok(AutomataTheory { bisim_axiom })
+    }
+}
+
+/// Parses an operator constant name (as produced by [`op_name`]) back into
+/// a [`CombOp`]. Literal widths inside the name are ignored except for
+/// `const`/`slice`, which embed their parameters.
+fn parse_op_name(name: &str) -> Option<CombOp> {
+    let (base, _width) = name.rsplit_once("_w")?;
+    match base {
+        "not" => Some(CombOp::Not),
+        "and" => Some(CombOp::And),
+        "or" => Some(CombOp::Or),
+        "xor" => Some(CombOp::Xor),
+        "add" => Some(CombOp::Add),
+        "sub" => Some(CombOp::Sub),
+        "inc" => Some(CombOp::Inc),
+        "eq" => Some(CombOp::Eq),
+        "lt" => Some(CombOp::Lt),
+        "ge" => Some(CombOp::Ge),
+        "mux" => Some(CombOp::Mux),
+        "concat" => Some(CombOp::Concat),
+        other => {
+            // slice_{hi}_{lo}
+            let rest = other.strip_prefix("slice_")?;
+            let (hi, lo) = rest.split_once('_')?;
+            Some(CombOp::Slice {
+                hi: hi.parse().ok()?,
+                lo: lo.parse().ok()?,
+            })
+        }
+    }
+}
+
+/// Builds the operator-constant term for the given operator and operand
+/// widths, declaring the constant in the theory if needed.
+///
+/// # Errors
+///
+/// Fails if the operator/width combination is invalid.
+pub fn op_const(theory: &mut Theory, op: &CombOp, operand_widths: &[u32]) -> Result<TermRef> {
+    // Constant operators are represented directly as literals.
+    if let CombOp::Const(v) = op {
+        return Ok(mk_literal(v));
+    }
+    let name = op_name(op, operand_widths);
+    let ty = op_ty(op, operand_widths)?;
+    theory.declare_constant(name.clone(), ty.clone())?;
+    Ok(mk_const(name, ty))
+}
+
+/// Evaluates a ground term (operators applied to literals, pairs,
+/// projections) to a literal or a tuple of literals, producing the theorem
+/// `⊢ term = value`.
+///
+/// # Errors
+///
+/// Fails if the term contains free variables or non-evaluatable parts.
+pub fn eval_ground(
+    theory: &Theory,
+    pair_theory: &PairTheory,
+    term: &TermRef,
+) -> Result<Theorem> {
+    let mut rw = Rewriter::new().with_max_passes(10_000);
+    rw.add_eqs(&pair_theory.projection_eqs())?;
+    rw.rewrite_with(Some(theory), term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hash_logic::pair::mk_pair;
+
+    fn setup() -> (Theory, BoolTheory, PairTheory, AutomataTheory) {
+        let mut thy = Theory::new();
+        let b = BoolTheory::install(&mut thy).unwrap();
+        let p = PairTheory::install(&mut thy).unwrap();
+        let a = AutomataTheory::install(&mut thy).unwrap();
+        (thy, b, p, a)
+    }
+
+    #[test]
+    fn literals_roundtrip() {
+        let v = BitVec::new(42, 8).unwrap();
+        let t = mk_literal(&v);
+        let c = t.dest_const().unwrap();
+        assert_eq!(parse_literal(&c.name, &c.ty), Some(v));
+        assert_eq!(parse_literal("#5w8", &Type::bv(4)), None);
+        assert_eq!(parse_literal("nope", &Type::bv(8)), None);
+    }
+
+    #[test]
+    fn automaton_terms_build_and_destruct() {
+        let (_, _, _, _) = setup();
+        let comb = mk_var(
+            "c",
+            comb_ty(&Type::bv(4), &Type::bv(8), &Type::bv(4)),
+        );
+        let init = mk_var("q", Type::bv(8));
+        let t = mk_automaton(&comb, &init).unwrap();
+        let (c, q) = dest_automaton(&t).unwrap();
+        assert!(c.aconv(&comb));
+        assert!(q.aconv(&init));
+        assert!(dest_automaton(&init).is_err());
+    }
+
+    #[test]
+    fn bisim_axiom_is_recorded_and_boolean() {
+        let (thy, _, _, a) = setup();
+        assert!(a.bisim_axiom.is_closed());
+        assert!(thy
+            .axioms()
+            .iter()
+            .any(|(name, _)| name == "AUTOMATON_BISIM"));
+        // The complete trusted surface: 3 pair axioms + 1 automata axiom.
+        assert_eq!(thy.axioms().len(), 4);
+    }
+
+    #[test]
+    fn delta_rule_evaluates_operators() {
+        let (mut thy, _, p, _) = setup();
+        let add = op_const(&mut thy, &CombOp::Add, &[8, 8]).unwrap();
+        let t = list_mk_comb(
+            &add,
+            &[
+                mk_literal(&BitVec::new(250, 8).unwrap()),
+                mk_literal(&BitVec::new(10, 8).unwrap()),
+            ],
+        )
+        .unwrap();
+        let th = eval_ground(&thy, &p, &t).unwrap();
+        let (_, rhs) = th.dest_eq().unwrap();
+        assert_eq!(rhs.dest_const().unwrap().name, literal_name(&BitVec::new(4, 8).unwrap()));
+    }
+
+    #[test]
+    fn evaluation_handles_pairs_and_projections() {
+        let (mut thy, _, p, _) = setup();
+        let inc = op_const(&mut thy, &CombOp::Inc, &[4]).unwrap();
+        let lit = mk_literal(&BitVec::new(7, 4).unwrap());
+        let pair = mk_pair(&mk_comb(&inc, &lit).unwrap(), &lit).unwrap();
+        let t = mk_fst(&pair).unwrap();
+        let th = eval_ground(&thy, &p, &t).unwrap();
+        let (_, rhs) = th.dest_eq().unwrap();
+        assert_eq!(
+            rhs.dest_const().unwrap().name,
+            literal_name(&BitVec::new(8, 4).unwrap())
+        );
+    }
+
+    #[test]
+    fn op_const_rejects_bad_instances() {
+        let mut thy = Theory::new();
+        assert!(op_const(&mut thy, &CombOp::Add, &[8, 4]).is_err());
+        assert!(op_const(&mut thy, &CombOp::Mux, &[2, 8, 8]).is_err());
+        let c = op_const(&mut thy, &CombOp::Const(BitVec::new(3, 4).unwrap()), &[]).unwrap();
+        assert_eq!(c.ty().unwrap(), Type::bv(4));
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the BDD package.
+
+use std::fmt;
+
+/// Errors raised by BDD operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BddError {
+    /// A variable index outside the manager's range was used.
+    UnknownVariable {
+        /// The offending variable index.
+        var: u32,
+    },
+    /// The soft node limit was exceeded; the verification run is reported
+    /// as a blow-up (the dashes in the paper's tables).
+    NodeLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A variable renaming was not monotone in the variable order.
+    NonMonotoneRename,
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::UnknownVariable { var } => write!(f, "unknown BDD variable {var}"),
+            BddError::NodeLimit { limit } => {
+                write!(f, "BDD node limit of {limit} nodes exceeded")
+            }
+            BddError::NonMonotoneRename => write!(f, "variable renaming is not monotone"),
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BddError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        assert!(BddError::UnknownVariable { var: 7 }.to_string().contains('7'));
+        assert!(BddError::NodeLimit { limit: 100 }.to_string().contains("100"));
+        assert!(!BddError::NonMonotoneRename.to_string().is_empty());
+    }
+}

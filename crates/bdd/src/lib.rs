@@ -1,0 +1,42 @@
+//! # hash-bdd
+//!
+//! A reduced ordered binary decision diagram (ROBDD) package, built from
+//! scratch as the substrate for the post-synthesis verification baselines
+//! of the DATE'97 HASH retiming reproduction (`hash-equiv`): boolean
+//! tautology checking, SMV-style symbolic model checking, SIS-style FSM
+//! equivalence and van Eijk's signal-correspondence method all represent
+//! boolean functions and state sets as BDDs.
+//!
+//! The manager offers hash-consed nodes, memoised `ite`, quantification,
+//! monotone variable renaming, restriction, model counting and a soft node
+//! limit used by the experiment harness to report blow-ups (the dashes in
+//! the paper's tables).
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_bdd::{BddManager, BddRef};
+//!
+//! # fn main() -> std::result::Result<(), hash_bdd::BddError> {
+//! let mut m = BddManager::new(2);
+//! let x = m.var(0)?;
+//! let y = m.var(1)?;
+//! let f = m.and(x, y)?;
+//! let g = m.not(f)?;
+//! let nx = m.not(x)?;
+//! let ny = m.not(y)?;
+//! let de_morgan = m.or(nx, ny)?;
+//! assert_eq!(g, de_morgan); // canonicity: equal functions, equal nodes
+//! assert_ne!(f, BddRef::FALSE);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod manager;
+
+pub use error::{BddError, Result};
+pub use manager::{BddManager, BddRef};

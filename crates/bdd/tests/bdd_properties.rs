@@ -1,0 +1,112 @@
+//! Property-based tests of the BDD package: canonical BDDs agree with a
+//! direct truth-table evaluation of the same expression.
+
+use hash_bdd::{BddManager, BddRef};
+use proptest::prelude::*;
+
+/// A tiny boolean expression language over three variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = (0u32..3).prop_map(Expr::Var);
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let sub = expr(depth - 1);
+        prop_oneof![
+            leaf,
+            sub.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (sub.clone(), sub).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+        .boxed()
+    }
+}
+
+fn eval(e: &Expr, a: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => a[*i as usize],
+        Expr::Not(x) => !eval(x, a),
+        Expr::And(x, y) => eval(x, a) && eval(y, a),
+        Expr::Or(x, y) => eval(x, a) || eval(y, a),
+        Expr::Xor(x, y) => eval(x, a) ^ eval(y, a),
+    }
+}
+
+fn build(m: &mut BddManager, e: &Expr) -> BddRef {
+    match e {
+        Expr::Var(i) => m.var(*i).unwrap(),
+        Expr::Not(x) => {
+            let f = build(m, x);
+            m.not(f).unwrap()
+        }
+        Expr::And(x, y) => {
+            let (f, g) = (build(m, x), build(m, y));
+            m.and(f, g).unwrap()
+        }
+        Expr::Or(x, y) => {
+            let (f, g) = (build(m, x), build(m, y));
+            m.or(f, g).unwrap()
+        }
+        Expr::Xor(x, y) => {
+            let (f, g) = (build(m, x), build(m, y));
+            m.xor(f, g).unwrap()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in expr(4)) {
+        let mut m = BddManager::new(3);
+        let f = build(&mut m, &e);
+        let mut count = 0.0;
+        for bits in 0..8u32 {
+            let a = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expected = eval(&e, &a);
+            prop_assert_eq!(m.eval(f, &a), expected);
+            if expected {
+                count += 1.0;
+            }
+        }
+        prop_assert!((m.sat_count(f) - count).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonicity_equal_functions_equal_nodes(e in expr(3)) {
+        let mut m = BddManager::new(3);
+        let f = build(&mut m, &e);
+        // Build (e XOR false) which denotes the same function.
+        let false_bdd = m.constant(false);
+        let same = m.xor(f, false_bdd).unwrap();
+        prop_assert_eq!(f, same);
+        // Double negation is the identity.
+        let n = m.not(f).unwrap();
+        let nn = m.not(n).unwrap();
+        prop_assert_eq!(nn, f);
+    }
+
+    #[test]
+    fn quantification_matches_cofactors(e in expr(3)) {
+        let mut m = BddManager::new(3);
+        let f = build(&mut m, &e);
+        let f0 = m.restrict(f, 0, false).unwrap();
+        let f1 = m.restrict(f, 0, true).unwrap();
+        let ex = m.exists(f, &[0]).unwrap();
+        let or = m.or(f0, f1).unwrap();
+        prop_assert_eq!(ex, or);
+        let fa = m.forall(f, &[0]).unwrap();
+        let and = m.and(f0, f1).unwrap();
+        prop_assert_eq!(fa, and);
+    }
+}

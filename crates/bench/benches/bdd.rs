@@ -1,0 +1,30 @@
+//! Criterion bench for the BDD substrate: building the product machine and
+//! one image computation for the Figure-2 example.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hash_circuits::figure2::Figure2;
+use hash_equiv::machine::ProductMachine;
+use hash_netlist::gate::bit_blast;
+use hash_retiming::prelude::*;
+
+fn bench_bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_product_machine");
+    group.sample_size(10);
+    for n in [4u32, 8] {
+        let fig = Figure2::new(n);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        let ga = bit_blast(&fig.netlist).unwrap().netlist;
+        let gb = bit_blast(&retimed).unwrap().netlist;
+        group.bench_with_input(BenchmarkId::new("build_and_image", n), &n, |b, _| {
+            b.iter(|| {
+                let mut pm = ProductMachine::build(&ga, &gb, 1 << 22).unwrap();
+                let t = pm.transition_relation().unwrap();
+                let init = pm.initial_state().unwrap();
+                pm.image(init, t).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bdd);
+criterion_main!(benches);

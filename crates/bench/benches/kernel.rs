@@ -1,0 +1,27 @@
+//! Criterion bench for the logic kernel: deriving the universal retiming
+//! theorem (the tool designer's one-time cost) and composing theorems by
+//! transitivity (the per-compound-step cost).
+use criterion::{criterion_group, criterion_main, Criterion};
+use hash_core::prelude::*;
+use hash_circuits::figure2::Figure2;
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(20);
+    group.bench_function("derive_retiming_theorem", |b| {
+        b.iter(|| Hash::new().unwrap())
+    });
+    let mut hash = Hash::new().unwrap();
+    let fig = Figure2::new(8);
+    let step1 = hash
+        .formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+        .unwrap();
+    let step2 = hash.join_step_of(&step1.theorem).unwrap();
+    group.bench_function("compound_transitivity", |b| {
+        b.iter(|| hash.compound(&step1.theorem, &step2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the multiplier scaling study (Section V).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hash_circuits::FracMult;
+use hash_core::prelude::*;
+use hash_retiming::prelude::*;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplier_scaling");
+    group.sample_size(10);
+    for width in [8u32, 16, 32] {
+        let m = FracMult::new(width).netlist;
+        let cut = maximal_forward_cut(&m);
+        group.bench_with_input(BenchmarkId::new("hash", width), &width, |b, _| {
+            b.iter(|| {
+                let mut hash = Hash::new().unwrap();
+                hash.formal_retime(&m, &cut, RetimeOptions::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

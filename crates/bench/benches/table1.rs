@@ -1,0 +1,51 @@
+//! Criterion bench for Table I: one HASH formal retiming and one SMV
+//! verification of the Figure-2 example at small widths.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hash_circuits::figure2::Figure2;
+use hash_core::prelude::*;
+use hash_equiv::prelude::*;
+use hash_retiming::prelude::*;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for n in [4u32, 8] {
+        let fig = Figure2::new(n);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        group.bench_with_input(BenchmarkId::new("hash", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hash = Hash::new().unwrap();
+                hash.formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("smv", n), &n, |b, _| {
+            b.iter(|| {
+                check_equivalence_smv(
+                    &fig.netlist,
+                    &retimed,
+                    SmvOptions {
+                        node_limit: 200_000,
+                        max_iterations: 10_000,
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sis", n), &n, |b, _| {
+            b.iter(|| {
+                check_equivalence_sis(
+                    &fig.netlist,
+                    &retimed,
+                    SisOptions {
+                        max_states: 1 << 18,
+                        max_input_bits: 14,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Table II: HASH versus the Eijk+ checker on the
+//! smallest benchmark of the suite.
+use criterion::{criterion_group, criterion_main, Criterion};
+use hash_circuits::iwls::{generate, table2_benchmarks};
+use hash_core::prelude::*;
+use hash_equiv::prelude::*;
+use hash_retiming::prelude::*;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_s344");
+    group.sample_size(10);
+    let bench = table2_benchmarks()[0].clone();
+    let netlist = generate(&bench);
+    let cut = maximal_forward_cut(&netlist);
+    let retimed = forward_retime(&netlist, &cut).unwrap();
+    group.bench_function("hash", |b| {
+        b.iter(|| {
+            let mut hash = Hash::new().unwrap();
+            hash.formal_retime(&netlist, &cut, RetimeOptions::default())
+                .unwrap()
+        })
+    });
+    group.bench_function("eijk_plus", |b| {
+        b.iter(|| {
+            check_equivalence_eijk_plus(
+                &netlist,
+                &retimed,
+                EijkOptions {
+                    node_limit: 50_000,
+                    max_iterations: 500,
+                    max_refinements: 8,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

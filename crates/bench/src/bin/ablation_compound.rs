@@ -1,0 +1,12 @@
+//! Ablation: the cost of composing synthesis theorems by transitivity
+//! compared with the cost of the individual steps.
+use hash_bench::ablation;
+
+fn main() {
+    for n in [4u32, 8, 16, 32] {
+        let (retime, join, compose) = ablation::compound(n);
+        println!(
+            "n={n}: retime {retime:.4}s, join {join:.4}s, compose {compose:.6}s"
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Ablation: HASH formal-retiming cost as a function of the cut size.
+use hash_bench::ablation;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s344".to_string());
+    println!("cut size\tHASH seconds ({name})");
+    for (size, secs) in ablation::cut_size(&name) {
+        println!("{size}\t{secs:.4}");
+    }
+}

@@ -1,0 +1,9 @@
+//! The multiplier-family scaling study of Section V: HASH cost grows
+//! moderately with the bit width while model checking blows up.
+use hash_bench::scaling;
+
+fn main() {
+    let rows = scaling::run(&[8, 16, 32], 200_000);
+    println!("Multiplier scaling (Section V)");
+    print!("{}", scaling::render(&rows));
+}

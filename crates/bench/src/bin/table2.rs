@@ -1,0 +1,13 @@
+//! Regenerates Table II of the paper: IWLS'91-style benchmarks compared
+//! across Eijk, Eijk+, SIS and HASH.
+use hash_bench::table2;
+
+fn main() {
+    let node_limit: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let rows = table2::run(node_limit);
+    println!("Table II — IWLS'91-style benchmarks (times in seconds, '-' = blow-up)");
+    print!("{}", table2::render(&rows));
+}

@@ -1,0 +1,438 @@
+//! # hash-bench
+//!
+//! The experiment harness of the reproduction: it regenerates every table
+//! and figure of the paper's evaluation section (see DESIGN.md for the
+//! experiment index and EXPERIMENTS.md for recorded results).
+//!
+//! * [`table1`] — the scalable Figure-2 example swept over the bit width,
+//!   comparing SIS-style FSM comparison, SMV-style model checking and the
+//!   HASH formal retiming (paper Table I).
+//! * [`table2`] — the IWLS'91-style benchmark suite, comparing van Eijk's
+//!   checkers, SIS and HASH (paper Table II).
+//! * [`scaling`] — the multiplier-family scaling factors discussed in
+//!   Section V.
+//! * [`ablation`] — additional studies: HASH cost versus cut size and
+//!   compound-step composition cost.
+//!
+//! Each module returns plain rows that the `table1`/`table2`/`scaling`/
+//! `ablation_*` binaries print as text tables.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use hash_core::prelude::*;
+use hash_equiv::prelude::*;
+use hash_netlist::prelude::*;
+use hash_retiming::prelude::*;
+use std::time::{Duration, Instant};
+
+/// How a verification/synthesis run ended, with its wall-clock time.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// Seconds of wall-clock time.
+    pub seconds: f64,
+    /// A short status: `ok`, `limit` (resource blow-up, printed as a dash in
+    /// the paper), `fail` or `n/a`.
+    pub status: &'static str,
+}
+
+impl Timing {
+    fn ok(d: Duration) -> Timing {
+        Timing {
+            seconds: d.as_secs_f64(),
+            status: "ok",
+        }
+    }
+
+    /// Renders the timing like the paper's tables: the time in seconds, or
+    /// a dash for blow-ups.
+    pub fn render(&self) -> String {
+        match self.status {
+            "ok" => format!("{:.3}", self.seconds),
+            "limit" => "-".to_string(),
+            "fail" => "!".to_string(),
+            _ => "?".to_string(),
+        }
+    }
+}
+
+fn timing_of(result: &VerificationResult) -> Timing {
+    match result.verdict {
+        Verdict::Equivalent => Timing::ok(result.duration),
+        Verdict::ResourceLimit => Timing {
+            seconds: result.duration.as_secs_f64(),
+            status: "limit",
+        },
+        Verdict::NotEquivalent => Timing {
+            seconds: result.duration.as_secs_f64(),
+            status: "fail",
+        },
+        Verdict::Inconclusive => Timing {
+            seconds: result.duration.as_secs_f64(),
+            status: "?",
+        },
+    }
+}
+
+/// Table I: the scalable Figure-2 example.
+pub mod table1 {
+    use super::*;
+    use hash_circuits::figure2::Figure2;
+
+    /// One row of Table I.
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// The bit width `n`.
+        pub n: u32,
+        /// Flip-flop count of the circuit.
+        pub flip_flops: usize,
+        /// Gate-equivalent count of the circuit.
+        pub gates: usize,
+        /// SIS-style explicit FSM comparison.
+        pub sis: Timing,
+        /// SMV-style symbolic model checking.
+        pub smv: Timing,
+        /// HASH formal retiming.
+        pub hash: Timing,
+    }
+
+    /// Runs the Table-I experiment for the given bit widths.
+    ///
+    /// `node_limit` bounds the BDD size of the model checker (blow-ups are
+    /// reported as dashes, like the paper).
+    pub fn run(widths: &[u32], node_limit: usize) -> Vec<Row> {
+        let mut hash_engine = Hash::new().expect("theories install");
+        widths
+            .iter()
+            .map(|&n| {
+                let fig = Figure2::new(n);
+                let st = stats(&fig.netlist);
+                let retimed =
+                    forward_retime(&fig.netlist, &fig.correct_cut()).expect("retiming applies");
+
+                let sis = timing_of(&check_equivalence_sis(
+                    &fig.netlist,
+                    &retimed,
+                    SisOptions {
+                        max_states: 1 << 20,
+                        max_input_bits: 14,
+                    },
+                ));
+                let smv = timing_of(&check_equivalence_smv(
+                    &fig.netlist,
+                    &retimed,
+                    SmvOptions {
+                        node_limit,
+                        max_iterations: 10_000,
+                    },
+                ));
+                let start = Instant::now();
+                let hash = match hash_engine.formal_retime(
+                    &fig.netlist,
+                    &fig.correct_cut(),
+                    RetimeOptions::default(),
+                ) {
+                    Ok(_) => Timing::ok(start.elapsed()),
+                    Err(_) => Timing {
+                        seconds: start.elapsed().as_secs_f64(),
+                        status: "fail",
+                    },
+                };
+                Row {
+                    n,
+                    flip_flops: st.flip_flops,
+                    gates: st.gate_estimate,
+                    sis,
+                    smv,
+                    hash,
+                }
+            })
+            .collect()
+    }
+
+    /// Formats the rows like the paper's Table I.
+    pub fn render(rows: &[Row]) -> String {
+        let mut out = String::from("n\tflipflops\tgates\tSIS\tSMV\tHASH\n");
+        for r in rows {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                r.n,
+                r.flip_flops,
+                r.gates,
+                r.sis.render(),
+                r.smv.render(),
+                r.hash.render()
+            ));
+        }
+        out
+    }
+}
+
+/// Table II: the IWLS'91-style benchmark suite.
+pub mod table2 {
+    use super::*;
+    use hash_circuits::iwls::{generate, table2_benchmarks};
+
+    /// One row of Table II.
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// The benchmark name.
+        pub name: String,
+        /// Flip-flop count.
+        pub flip_flops: usize,
+        /// Gate count.
+        pub gates: usize,
+        /// Van Eijk's basic checker.
+        pub eijk: Timing,
+        /// Van Eijk's checker exploiting register correspondences.
+        pub eijk_plus: Timing,
+        /// SIS-style explicit FSM comparison.
+        pub sis: Timing,
+        /// HASH formal retiming.
+        pub hash: Timing,
+    }
+
+    /// Runs the Table-II experiment over the benchmark suite.
+    pub fn run(node_limit: usize) -> Vec<Row> {
+        let mut hash_engine = Hash::new().expect("theories install");
+        table2_benchmarks()
+            .iter()
+            .map(|b| {
+                let netlist = generate(b);
+                let st = stats(&netlist);
+                let cut = maximal_forward_cut(&netlist);
+                let retimed = forward_retime(&netlist, &cut).expect("benchmark is retimable");
+
+                let opts = EijkOptions {
+                    node_limit,
+                    max_iterations: 2_000,
+                    max_refinements: 16,
+                };
+                let eijk = timing_of(&check_equivalence_eijk(&netlist, &retimed, opts));
+                let eijk_plus = timing_of(&check_equivalence_eijk_plus(&netlist, &retimed, opts));
+                let sis = timing_of(&check_equivalence_sis(
+                    &netlist,
+                    &retimed,
+                    SisOptions {
+                        max_states: 1 << 14,
+                        max_input_bits: 12,
+                    },
+                ));
+                let start = Instant::now();
+                let hash = match hash_engine.formal_retime(
+                    &netlist,
+                    &cut,
+                    RetimeOptions::default(),
+                ) {
+                    Ok(_) => Timing::ok(start.elapsed()),
+                    Err(_) => Timing {
+                        seconds: start.elapsed().as_secs_f64(),
+                        status: "fail",
+                    },
+                };
+                Row {
+                    name: b.name.to_string(),
+                    flip_flops: st.flip_flops,
+                    gates: st.gate_estimate,
+                    eijk,
+                    eijk_plus,
+                    sis,
+                    hash,
+                }
+            })
+            .collect()
+    }
+
+    /// Formats the rows like the paper's Table II.
+    pub fn render(rows: &[Row]) -> String {
+        let mut out = String::from("name\tflipflops\tgates\tEijk\tEijk+\tSIS\tHASH\n");
+        for r in rows {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                r.name,
+                r.flip_flops,
+                r.gates,
+                r.eijk.render(),
+                r.eijk_plus.render(),
+                r.sis.render(),
+                r.hash.render()
+            ));
+        }
+        out
+    }
+}
+
+/// The multiplier-family scaling study of Section V.
+pub mod scaling {
+    use super::*;
+    use hash_circuits::FracMult;
+
+    /// One row: multiplier width and the HASH / model-checking costs.
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// The multiplier data width.
+        pub width: u32,
+        /// HASH formal retiming time.
+        pub hash: Timing,
+        /// SMV-style model checking time (or a dash on blow-up).
+        pub smv: Timing,
+    }
+
+    /// Runs the scaling study over multiplier widths.
+    pub fn run(widths: &[u32], node_limit: usize) -> Vec<Row> {
+        let mut hash_engine = Hash::new().expect("theories install");
+        widths
+            .iter()
+            .map(|&w| {
+                let m = FracMult::new(w).netlist;
+                let cut = maximal_forward_cut(&m);
+                let retimed = forward_retime(&m, &cut).expect("multiplier is retimable");
+                let smv = timing_of(&check_equivalence_smv(
+                    &m,
+                    &retimed,
+                    SmvOptions {
+                        node_limit,
+                        max_iterations: 2_000,
+                    },
+                ));
+                let start = Instant::now();
+                let hash = match hash_engine.formal_retime(&m, &cut, RetimeOptions::default()) {
+                    Ok(_) => Timing::ok(start.elapsed()),
+                    Err(_) => Timing {
+                        seconds: start.elapsed().as_secs_f64(),
+                        status: "fail",
+                    },
+                };
+                Row { width: w, hash, smv }
+            })
+            .collect()
+    }
+
+    /// Formats the rows, including the growth factor between successive
+    /// widths (the paper reports ~3 per doubling for HASH and much larger
+    /// factors for the checkers).
+    pub fn render(rows: &[Row]) -> String {
+        let mut out = String::from("width\tHASH\tSMV\tHASH-growth\n");
+        let mut prev: Option<f64> = None;
+        for r in rows {
+            let growth = match prev {
+                Some(p) if p > 0.0 && r.hash.status == "ok" => {
+                    format!("{:.2}x", r.hash.seconds / p)
+                }
+                _ => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                r.width,
+                r.hash.render(),
+                r.smv.render(),
+                growth
+            ));
+            if r.hash.status == "ok" {
+                prev = Some(r.hash.seconds);
+            }
+        }
+        out
+    }
+}
+
+/// Ablation studies called out in DESIGN.md.
+pub mod ablation {
+    use super::*;
+    use hash_circuits::figure2::Figure2;
+    use hash_circuits::iwls::{generate, table2_benchmarks};
+
+    /// HASH cost as a function of the cut size (the paper claims the time
+    /// "is quite independent from the cut", apart from the initial-state
+    /// evaluation).
+    pub fn cut_size(name: &str) -> Vec<(usize, f64)> {
+        let benchmark = table2_benchmarks()
+            .into_iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| table2_benchmarks()[0].clone());
+        let netlist = generate(&benchmark);
+        let mut hash_engine = Hash::new().expect("theories install");
+        let mut rows = Vec::new();
+        // Single-cell cuts, then the maximal cut.
+        let mut cuts = single_cell_cuts(&netlist);
+        cuts.truncate(5);
+        cuts.push(maximal_forward_cut(&netlist));
+        for cut in cuts {
+            if cut.is_empty() {
+                continue;
+            }
+            let start = Instant::now();
+            if hash_engine
+                .formal_retime(&netlist, &cut, RetimeOptions::default())
+                .is_ok()
+            {
+                rows.push((cut.len(), start.elapsed().as_secs_f64()));
+            }
+        }
+        rows
+    }
+
+    /// Compound-step composition: the cost of composing a retiming theorem
+    /// with a simplification theorem by transitivity, compared with the cost
+    /// of the two steps themselves (the paper argues the composition is
+    /// constant-cost).
+    pub fn compound(n: u32) -> (f64, f64, f64) {
+        let mut hash_engine = Hash::new().expect("theories install");
+        let fig = Figure2::new(n);
+        let t0 = Instant::now();
+        let step1 = hash_engine
+            .formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+            .expect("retiming applies");
+        let t1 = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let step2 = hash_engine.join_step_of(&step1.theorem).expect("join applies");
+        let t2 = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let _ = hash_engine
+            .compound(&step1.theorem, &step2)
+            .expect("composition succeeds");
+        let t3 = t0.elapsed().as_secs_f64();
+        (t1, t2, t3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_small_widths_produce_rows() {
+        let rows = table1::run(&[2, 3], 200_000);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].hash.status, "ok");
+        assert_eq!(rows[0].smv.status, "ok");
+        let text = table1::render(&rows);
+        assert!(text.contains("HASH"));
+    }
+
+    #[test]
+    fn scaling_smallest_multiplier() {
+        let rows = scaling::run(&[8], 50_000);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].hash.status, "ok");
+        assert!(!scaling::render(&rows).is_empty());
+    }
+
+    #[test]
+    fn compound_ablation_reports_three_times() {
+        let (t1, t2, t3) = ablation::compound(4);
+        assert!(t1 > 0.0 && t2 >= 0.0 && t3 >= 0.0);
+        assert!(t3 < t1, "composition must be cheaper than the steps");
+    }
+
+    #[test]
+    fn timing_rendering() {
+        let t = Timing {
+            seconds: 1.5,
+            status: "limit",
+        };
+        assert_eq!(t.render(), "-");
+        let ok = Timing::ok(Duration::from_millis(250));
+        assert_eq!(ok.render(), "0.250");
+    }
+}

@@ -1,0 +1,167 @@
+//! The scalable example circuit of the paper's Figure 2.
+//!
+//! The circuit has two `n`-bit data inputs `a` and `b`, an `n`-bit register
+//! `D0` on the `a` path, a `+1` incrementer, a comparator and a
+//! multiplexer whose select is registered in the one-bit register `D1`:
+//!
+//! ```text
+//!   a ──D0──[+1]──┐
+//!                 MUX ──► y
+//!   b ────────────┘ │
+//!   a ──┐           │
+//!       [>=]──D1────┘ (select)
+//!   b ──┘
+//! ```
+//!
+//! Retiming shifts `D0` forward across the `+1` component (`f` = {+1},
+//! `g` = {comparator, MUX}), turning the initial value `0` into
+//! `f(0) = 1` — exactly the transformation of Figures 2 and 3. Choosing
+//! `f` = {comparator, MUX} instead reproduces the *false cut* of Figure 4,
+//! which every layer of the reproduction rejects.
+//!
+//! The circuit is scalable in the bit width `n`, which is the parameter
+//! swept in Table I.
+
+use hash_netlist::prelude::*;
+use hash_retiming::prelude::Cut;
+
+/// Handles to the interesting cells of the Figure-2 circuit.
+#[derive(Clone, Debug)]
+pub struct Figure2 {
+    /// The RT-level netlist.
+    pub netlist: Netlist,
+    /// Index of the `+1` cell (the block `f` of the paper).
+    pub inc_cell: usize,
+    /// Index of the comparator cell.
+    pub cmp_cell: usize,
+    /// Index of the multiplexer cell.
+    pub mux_cell: usize,
+}
+
+impl Figure2 {
+    /// Builds the original (un-retimed) circuit for bit width `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 64 (unsupported widths).
+    pub fn new(n: u32) -> Figure2 {
+        let mut nl = Netlist::new(format!("figure2_n{n}"));
+        let a = nl.add_input("a", n);
+        let b = nl.add_input("b", n);
+        // D0: the register the retiming will shift across the incrementer.
+        let d0 = nl
+            .register(a, BitVec::zero(n), "d0")
+            .expect("valid register");
+        // Cell 0: the +1 component (the block f).
+        let inc = nl.inc(d0, "inc").expect("valid incrementer");
+        let inc_cell = nl.cells().len() - 1;
+        // Cell 1: the comparator a >= b.
+        let cmp = nl.ge(a, b, "cmp").expect("valid comparator");
+        let cmp_cell = nl.cells().len() - 1;
+        // D1: the registered select.
+        let d1 = nl
+            .register(cmp, BitVec::zero(1), "d1")
+            .expect("valid register");
+        // Cell 2: the multiplexer.
+        let y = nl.mux(d1, inc, b, "y").expect("valid multiplexer");
+        let mux_cell = nl.cells().len() - 1;
+        nl.mark_output(y);
+        Figure2 {
+            netlist: nl,
+            inc_cell,
+            cmp_cell,
+            mux_cell,
+        }
+    }
+
+    /// The correct cut of Figure 3: `f` consists of the `+1` component only.
+    pub fn correct_cut(&self) -> Cut {
+        Cut::new(vec![self.inc_cell])
+    }
+
+    /// The false cut of Figure 4: `f` consists of the comparator and the
+    /// multiplexer.
+    pub fn false_cut(&self) -> Cut {
+        Cut::new(vec![self.cmp_cell, self.mux_cell])
+    }
+
+    /// The expected retimed circuit, built directly (register after the
+    /// `+1`, initial value `1`). Used as a reference in tests.
+    pub fn retimed_reference(n: u32) -> Netlist {
+        let mut nl = Netlist::new(format!("figure2_n{n}_retimed_ref"));
+        let a = nl.add_input("a", n);
+        let b = nl.add_input("b", n);
+        let inc = nl.inc(a, "inc").expect("valid incrementer");
+        let d0 = nl
+            .register(inc, BitVec::one(n), "d0")
+            .expect("valid register");
+        let cmp = nl.ge(a, b, "cmp").expect("valid comparator");
+        let d1 = nl
+            .register(cmp, BitVec::zero(1), "d1")
+            .expect("valid register");
+        let y = nl.mux(d1, d0, b, "y").expect("valid multiplexer");
+        nl.mark_output(y);
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hash_netlist::sim::{random_stimuli, traces_equal};
+    use hash_retiming::prelude::*;
+
+    #[test]
+    fn figure2_builds_for_various_widths() {
+        for n in [1u32, 4, 8, 16, 32, 64] {
+            let f = Figure2::new(n);
+            f.netlist.validate().expect("figure 2 circuit is valid");
+            assert_eq!(f.netlist.registers().len(), 2);
+            assert_eq!(f.netlist.cells().len(), 3);
+        }
+    }
+
+    #[test]
+    fn correct_cut_retimes_and_matches_reference() {
+        for n in [4u32, 8, 12] {
+            let f = Figure2::new(n);
+            let retimed = forward_retime(&f.netlist, &f.correct_cut()).unwrap();
+            // New initial value is f(0) = 1.
+            assert!(retimed.registers().iter().any(|r| r.init.as_u64() == 1));
+            let stim = random_stimuli(&f.netlist, 64, 99);
+            assert!(traces_equal(&f.netlist, &retimed, &stim).unwrap());
+            let reference = Figure2::retimed_reference(n);
+            assert!(traces_equal(&retimed, &reference, &stim).unwrap());
+        }
+    }
+
+    #[test]
+    fn false_cut_is_rejected() {
+        let f = Figure2::new(8);
+        let err = forward_retime(&f.netlist, &f.false_cut()).unwrap_err();
+        assert!(matches!(err, RetimingError::BadCut { .. }));
+    }
+
+    #[test]
+    fn maximal_cut_is_the_incrementer() {
+        let f = Figure2::new(8);
+        let cut = maximal_forward_cut(&f.netlist);
+        assert_eq!(cut.cells, vec![f.inc_cell]);
+    }
+
+    #[test]
+    fn behaviour_spot_check() {
+        // With a >= b the output is the registered a + 1 (one cycle delayed
+        // select), otherwise b.
+        let f = Figure2::new(8);
+        let mut sim = Simulator::new(&f.netlist).unwrap();
+        let a0 = BitVec::new(10, 8).unwrap();
+        let b0 = BitVec::new(3, 8).unwrap();
+        // Cycle 0: d0 = 0, d1 = 0, so y = b.
+        let y0 = sim.step(&[a0, b0]).unwrap()[0];
+        assert_eq!(y0.as_u64(), 3);
+        // Cycle 1: d0 = 10, d1 = (10 >= 3) = 1, so y = 10 + 1.
+        let y1 = sim.step(&[a0, b0]).unwrap()[0];
+        assert_eq!(y1.as_u64(), 11);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hash-circuits
+//!
+//! Benchmark circuit generators for the DATE'97 HASH retiming
+//! reproduction:
+//!
+//! * [`figure2`] — the paper's scalable example circuit (Figure 2),
+//!   parameterised by the data width `n` and swept in Table I,
+//! * [`fracmult`] — sequential fractional multipliers of 8/16/32 bits,
+//!   standing in for the multiplier family of Table II,
+//! * [`iwls`] — deterministic synthetic stand-ins for the remaining IWLS'91
+//!   benchmark circuits of Table II, matched in flip-flop and gate counts.
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_circuits::figure2::Figure2;
+//! use hash_retiming::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! let fig = Figure2::new(8);
+//! let retimed = forward_retime(&fig.netlist, &fig.correct_cut())?;
+//! assert!(retimed.registers().iter().any(|r| r.init.as_u64() == 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figure2;
+pub mod fracmult;
+pub mod iwls;
+
+pub use figure2::Figure2;
+pub use fracmult::FracMult;
+pub use iwls::{generate, table2_benchmarks, Benchmark};

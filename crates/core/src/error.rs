@@ -1,0 +1,84 @@
+//! Error type for the HASH formal synthesis layer.
+
+use hash_logic::LogicError;
+use hash_netlist::NetlistError;
+use hash_retiming::RetimingError;
+use std::fmt;
+
+/// Errors raised by the formal synthesis procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HashError {
+    /// A kernel-level derivation failed (this is the *safe* failure mode:
+    /// no theorem is produced, so no incorrect circuit can be derived).
+    Logic(LogicError),
+    /// The conventional netlist manipulation failed.
+    Netlist(NetlistError),
+    /// The retiming heuristics rejected the requested transformation.
+    Retiming(RetimingError),
+    /// The formal and the conventional result disagree — this would indicate
+    /// a bug in the *conventional* path (the theorem cannot be wrong).
+    CrossCheck {
+        /// Description of the disagreement.
+        message: String,
+    },
+}
+
+impl fmt::Display for HashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HashError::Logic(e) => write!(f, "formal derivation failed: {e}"),
+            HashError::Netlist(e) => write!(f, "netlist error: {e}"),
+            HashError::Retiming(e) => write!(f, "retiming error: {e}"),
+            HashError::CrossCheck { message } => write!(f, "cross-check failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for HashError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HashError::Logic(e) => Some(e),
+            HashError::Netlist(e) => Some(e),
+            HashError::Retiming(e) => Some(e),
+            HashError::CrossCheck { .. } => None,
+        }
+    }
+}
+
+impl From<LogicError> for HashError {
+    fn from(e: LogicError) -> Self {
+        HashError::Logic(e)
+    }
+}
+
+impl From<NetlistError> for HashError {
+    fn from(e: NetlistError) -> Self {
+        HashError::Netlist(e)
+    }
+}
+
+impl From<RetimingError> for HashError {
+    fn from(e: RetimingError) -> Self {
+        HashError::Retiming(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HashError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: HashError = LogicError::match_failure("no").into();
+        assert!(e.to_string().contains("formal derivation failed"));
+        let e2: HashError = NetlistError::UnsupportedWidth { width: 0 }.into();
+        assert!(e2.to_string().contains("netlist"));
+        let e3 = HashError::CrossCheck {
+            message: "oops".into(),
+        };
+        assert!(e3.to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # hash-core
+//!
+//! The primary contribution of the DATE'97 paper *"A Constructive Approach
+//! towards Correctness of Synthesis — Application within Retiming"*:
+//! **formal synthesis** of retimed circuits, where the synthesis step is a
+//! logical derivation and its result is a machine-checked theorem
+//! `⊢ automaton(original) = automaton(retimed)`.
+//!
+//! * [`retiming_thm`] derives the universal retiming theorem once and for
+//!   all from the Automata theory's induction axiom — the work of the
+//!   formal-synthesis-tool designer.
+//! * [`synthesis`] provides the [`Hash`](synthesis::Hash) engine: the
+//!   four-step retiming procedure driven by untrusted heuristics
+//!   (`hash-retiming`), compound synthesis steps by transitivity, and the
+//!   "faulty heuristics cannot compromise correctness" behaviour.
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_circuits::figure2::Figure2;
+//! use hash_core::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! let mut hash = Hash::new()?;
+//! let fig = Figure2::new(8);
+//! let result = hash.formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())?;
+//! // The correctness theorem produced by the kernel:
+//! assert!(result.theorem.is_closed());
+//! // The new initial value of the shifted register is f(0) = 1.
+//! assert_eq!(result.new_initial_values[0].as_u64(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod retiming_thm;
+pub mod synthesis;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::error::{HashError, Result};
+    pub use crate::retiming_thm::{derive_retiming_theorem, RetimingTheorem};
+    pub use crate::synthesis::{FormalRetiming, Hash, RetimeOptions};
+}
+
+pub use error::HashError;
+pub use retiming_thm::RetimingTheorem;
+pub use synthesis::{FormalRetiming, Hash, RetimeOptions};

@@ -1,0 +1,272 @@
+//! Derivation of the universal retiming theorem (`RETIMING_THM`).
+//!
+//! The paper's Fig. 1 sketches a general pattern: a circuit whose
+//! combinational part splits into a block `f` (over which the registers
+//! are shifted) and a block `g` (untouched) is equivalent to the circuit
+//! where the registers sit after `f` and start at `f(q)`:
+//!
+//! ```text
+//! ⊢ automaton (\i s. g i (f s)) q
+//!   = automaton (\i x. (fst (g i x), f (snd (g i x)))) (f q)
+//! ```
+//!
+//! The paper emphasises that proving this theorem is "tedious and cannot be
+//! automated (induction over time etc.), however it has only to be proved
+//! once and for all". This module performs that one-time derivation: the
+//! theorem is obtained from the `AUTOMATON_BISIM` induction axiom of the
+//! Automata theory purely by kernel inference rules (specialisation,
+//! beta conversion, the pair projection axioms, congruence, conjunction,
+//! discharge and generalisation), instantiating the bisimulation relation
+//! with `R s₁ s₂  :=  (s₂ = f s₁)`.
+
+use crate::error::Result;
+use hash_automata::theory::{comb_ty, mk_automaton, AutomataTheory};
+use hash_logic::bool::{dest_conj, dest_forall, dest_imp, BoolTheory};
+use hash_logic::conv::beta_spine_thm;
+use hash_logic::pair::{mk_fst, mk_pair, mk_snd, PairTheory};
+use hash_logic::prelude::*;
+use std::rc::Rc;
+
+/// The universal retiming theorem together with the free variables used to
+/// instantiate it for a concrete circuit.
+#[derive(Clone, Debug)]
+pub struct RetimingTheorem {
+    /// `⊢ automaton (\i s. g i (f s)) q = automaton (...) (f q)`, with free
+    /// variables `f`, `g`, `q` and type variables `'i`, `'o`, `'s`, `'t`.
+    pub theorem: Theorem,
+    /// The free variable `f : 's -> 't` (the block the registers move over).
+    pub f_var: Var,
+    /// The free variable `g : 'i -> 't -> ('o # 's)` (the untouched block).
+    pub g_var: Var,
+    /// The free variable `q : 's` (the original initial state).
+    pub q_var: Var,
+}
+
+/// Derives the universal retiming theorem from the `AUTOMATON_BISIM` axiom.
+///
+/// # Errors
+///
+/// Fails only if one of the underlying theories was installed incorrectly;
+/// with the standard installation the derivation always succeeds.
+pub fn derive_retiming_theorem(
+    bools: &BoolTheory,
+    pairs: &PairTheory,
+    automata: &AutomataTheory,
+) -> Result<RetimingTheorem> {
+    let ity = Type::var("i");
+    let oty = Type::var("o");
+    let sty = Type::var("s");
+    let tty = Type::var("t");
+
+    let f_var = Var::new("f", Type::fun(sty.clone(), tty.clone()));
+    let g_var = Var::new(
+        "g",
+        Type::fun(
+            ity.clone(),
+            Type::fun(tty.clone(), Type::prod(oty.clone(), sty.clone())),
+        ),
+    );
+    let q_var = Var::new("q", sty.clone());
+
+    // R = \a b. b = f a
+    let a = Var::new("a", sty.clone());
+    let b = Var::new("b", tty.clone());
+    let r_term = mk_abs(
+        &a,
+        &mk_abs(
+            &b,
+            &mk_eq(&b.term(), &mk_comb(&f_var.term(), &a.term())?)?,
+        ),
+    );
+    // c1 = \i s. g i (f s)
+    let iv = Var::new("i", ity.clone());
+    let sv = Var::new("s", sty.clone());
+    let c1_term = mk_abs(
+        &iv,
+        &mk_abs(
+            &sv,
+            &mk_comb(
+                &mk_comb(&g_var.term(), &iv.term())?,
+                &mk_comb(&f_var.term(), &sv.term())?,
+            )?,
+        ),
+    );
+    // c2 = \i x. (fst (g i x), f (snd (g i x)))
+    let xv = Var::new("x", tty.clone());
+    let gix = mk_comb(&mk_comb(&g_var.term(), &iv.term())?, &xv.term())?;
+    let c2_term = mk_abs(
+        &iv,
+        &mk_abs(
+            &xv,
+            &mk_pair(
+                &mk_fst(&gix)?,
+                &mk_comb(&f_var.term(), &mk_snd(&gix)?)?,
+            )?,
+        ),
+    );
+    let fq = mk_comb(&f_var.term(), &q_var.term())?;
+
+    // Sanity: the two combinational functions have the expected types.
+    debug_assert_eq!(c1_term.ty()?, comb_ty(&ity, &sty, &oty));
+    debug_assert_eq!(c2_term.ty()?, comb_ty(&ity, &tty, &oty));
+
+    // Specialise the bisimulation axiom.
+    let th0 = bools.spec_list(
+        &[
+            Rc::clone(&r_term),
+            Rc::clone(&c1_term),
+            Rc::clone(&c2_term),
+            q_var.term(),
+            Rc::clone(&fq),
+        ],
+        &automata.bisim_axiom,
+    )?;
+    let (premise_target, _conclusion) = dest_imp(th0.concl())?;
+    let (p1_target, p2_target) = dest_conj(&premise_target)?;
+
+    // --- P1: R q (f q), which beta-reduces to f q = f q ---------------------
+    let spine_p1 = beta_spine_thm(&p1_target)?;
+    let p1_thm = Theorem::eq_mp(&spine_p1.sym()?, &Theorem::refl(&fq)?)?;
+
+    // --- P2: ∀ i s1 s2. R s1 s2 ==> out-equality ∧ R (next1) (next2) --------
+    let (v_i, body1) = dest_forall(&p2_target)?;
+    let (v_s1, body2) = dest_forall(&body1)?;
+    let (v_s2, body3) = dest_forall(&body2)?;
+    let (ante, conseq) = dest_imp(&body3)?;
+    let (a_target, b_target) = dest_conj(&conseq)?;
+
+    // Hypothesis: s2 = f s1.
+    let assume_ante = Theorem::assume(&ante)?;
+    let spine_ante = beta_spine_thm(&ante)?;
+    let h = Theorem::eq_mp(&spine_ante, &assume_ante)?;
+
+    // Destruct the targets to reuse their exact sub-terms.
+    let (lhs_a, rhs_a) = a_target.dest_eq()?;
+    let (fst_c1, c1_app) = lhs_a.dest_comb()?;
+    let (fst_c2, c2_app) = rhs_a.dest_comb()?;
+
+    // fst (c1 i s1) = fst (g i (f s1))
+    let spine_c1 = beta_spine_thm(c1_app)?;
+    let th_l = Theorem::ap_term(fst_c1, &spine_c1)?;
+    // fst (c2 i s2) = fst (g i s2)
+    let spine_c2 = beta_spine_thm(c2_app)?;
+    let th_r1 = Theorem::ap_term(fst_c2, &spine_c2)?;
+    let (_, fst_pair_term) = th_r1.dest_eq()?;
+    let th_r2 = hash_logic::conv::rewr_conv(&pairs.fst_pair, &fst_pair_term)?;
+    let th_r = Theorem::trans(&th_r1, &th_r2)?;
+    // fst (g i s2) = fst (g i (f s1))   (congruence with the hypothesis)
+    let (_, fst_gis2) = th_r.dest_eq()?;
+    let (fst_inst, gis2) = fst_gis2.dest_comb()?;
+    let (gi, _) = gis2.dest_comb()?;
+    let cong_g = Theorem::ap_term(gi, &h)?;
+    let cong_fst = Theorem::ap_term(fst_inst, &cong_g)?;
+    // fst (c1 i s1) = fst (c2 i s2)
+    let chain2 = Theorem::trans(&th_r, &cong_fst)?;
+    let a_thm = Theorem::trans(&th_l, &chain2.sym()?)?;
+
+    // B: R (snd (c1 i s1)) (snd (c2 i s2)), reduced form
+    //    snd (c2 i s2) = f (snd (c1 i s1)).
+    let spine_b = beta_spine_thm(&b_target)?;
+    let (_, reduced_b) = spine_b.dest_eq()?;
+    let (lhs_b, rhs_b) = reduced_b.dest_eq()?;
+    // lhs_b = snd (c2 i s2), rhs_b = f (snd (c1 i s1)).
+    let (snd_c2, _) = lhs_b.dest_comb()?;
+    let th1 = Theorem::ap_term(snd_c2, &spine_c2)?;
+    let (_, snd_pair_term) = th1.dest_eq()?;
+    let th2 = hash_logic::conv::rewr_conv(&pairs.snd_pair, &snd_pair_term)?;
+    // th2 rhs is  f (snd (g i s2)).
+    let (_, f_snd_gis2) = th2.dest_eq()?;
+    let (f_head, snd_gis2) = f_snd_gis2.dest_comb()?;
+    let (snd_inst, _) = snd_gis2.dest_comb()?;
+    let th3 = Theorem::ap_term(f_head, &Theorem::ap_term(snd_inst, &cong_g)?)?;
+    // f (snd (g i (f s1))) = f (snd (c1 i s1))
+    let th4 = Theorem::ap_term(f_head, &Theorem::ap_term(snd_inst, &spine_c1.sym()?)?)?;
+    let target_eq = Theorem::trans_chain(&[th1, th2, th3, th4])?;
+    // Sanity: the derived equation matches the reduced target shape.
+    debug_assert!(target_eq.concl().dest_eq()?.1.aconv(&rhs_b));
+    let b_thm = Theorem::eq_mp(&spine_b.sym()?, &target_eq)?;
+
+    let conj_thm = bools.conj(&a_thm, &b_thm)?;
+    let imp_thm = bools.disch(&ante, &conj_thm)?;
+    let p2_thm = bools.gen_list(&[v_i, v_s1, v_s2], &imp_thm)?;
+
+    // --- Combine and apply modus ponens --------------------------------------
+    let premise_thm = bools.conj(&p1_thm, &p2_thm)?;
+    let theorem = bools.mp(&th0, &premise_thm)?;
+
+    // The conclusion has exactly the advertised shape.
+    let expected_lhs = mk_automaton(&c1_term, &q_var.term())?;
+    debug_assert!(theorem.concl().dest_eq()?.0.aconv(&expected_lhs));
+    let _ = &expected_lhs;
+
+    Ok(RetimingTheorem {
+        theorem,
+        f_var,
+        g_var,
+        q_var,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hash_automata::theory::dest_automaton;
+
+    fn setup() -> (Theory, BoolTheory, PairTheory, AutomataTheory) {
+        let mut thy = Theory::new();
+        let b = BoolTheory::install(&mut thy).unwrap();
+        let p = PairTheory::install(&mut thy).unwrap();
+        let a = AutomataTheory::install(&mut thy).unwrap();
+        (thy, b, p, a)
+    }
+
+    #[test]
+    fn retiming_theorem_derives_and_is_closed() {
+        let (_, b, p, a) = setup();
+        let rt = derive_retiming_theorem(&b, &p, &a).expect("derivation succeeds");
+        assert!(rt.theorem.is_closed(), "no leftover hypotheses");
+        let (lhs, rhs) = rt.theorem.concl().dest_eq().unwrap();
+        // Both sides are automaton terms.
+        let (c1, q1) = dest_automaton(&lhs).unwrap();
+        let (c2, q2) = dest_automaton(&rhs).unwrap();
+        assert!(q1.aconv(&rt.q_var.term()));
+        // The retimed initial state is f q.
+        let (fh, fa) = q2.dest_comb().unwrap();
+        assert!(fh.aconv(&rt.f_var.term()));
+        assert!(fa.aconv(&rt.q_var.term()));
+        // The free variables of the theorem are exactly f, g and q.
+        let mut frees = rt.theorem.concl().free_vars();
+        frees.sort();
+        let mut expected = vec![rt.f_var.clone(), rt.g_var.clone(), rt.q_var.clone()];
+        expected.sort();
+        assert_eq!(frees, expected);
+        assert!(c1.ty().is_ok() && c2.ty().is_ok());
+    }
+
+    #[test]
+    fn theorem_instantiates_at_concrete_types() {
+        let (_, b, p, a) = setup();
+        let rt = derive_retiming_theorem(&b, &p, &a).unwrap();
+        let mut subst = TypeSubst::new();
+        subst.insert("i".into(), Type::bv(4));
+        subst.insert("o".into(), Type::bv(4));
+        subst.insert("s".into(), Type::bv(8));
+        subst.insert("t".into(), Type::bv(8));
+        let inst = rt.theorem.inst_type(&subst);
+        assert!(inst.is_closed());
+        let (lhs, _) = inst.concl().dest_eq().unwrap();
+        let (_, q) = dest_automaton(&lhs).unwrap();
+        assert_eq!(q.ty().unwrap(), Type::bv(8));
+    }
+
+    #[test]
+    fn derivation_uses_only_the_documented_axioms() {
+        let (thy, b, p, a) = setup();
+        let _ = derive_retiming_theorem(&b, &p, &a).unwrap();
+        let names: Vec<&str> = thy.axioms().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["FST_PAIR", "SND_PAIR", "PAIR_ETA", "AUTOMATON_BISIM"]
+        );
+    }
+}

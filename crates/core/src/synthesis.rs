@@ -1,0 +1,396 @@
+//! The HASH formal synthesis engine: correct-by-construction retiming.
+//!
+//! [`Hash`] bundles the logical theories (boolean, pair, Automata) and the
+//! once-derived universal retiming theorem, and exposes the formal
+//! synthesis steps of the paper:
+//!
+//! * [`Hash::formal_retime`] — the four-step retiming procedure of
+//!   Section IV-A: split the combinational part along the cut, apply the
+//!   universal retiming theorem, (optionally) join the parts again, and
+//!   evaluate the new initial state `f(q)`. The result is a kernel
+//!   [`Theorem`] equating the original and the retimed circuit terms,
+//!   together with the retimed netlist.
+//! * [`Hash::join_step`] — the logic-simplification step used to
+//!   demonstrate *compound* synthesis steps (two theorems composed by a
+//!   constant-cost transitivity, Section III-A).
+//! * [`Hash::compound`] — composition of synthesis theorems by
+//!   transitivity.
+//!
+//! A faulty cut never produces an incorrect theorem: it makes the
+//! procedure fail with an error (Section IV-C), which is tested in
+//! `tests/faulty_cut.rs` and demonstrated by `examples/faulty_cut.rs`.
+
+use crate::error::{HashError, Result};
+use crate::retiming_thm::{derive_retiming_theorem, RetimingTheorem};
+use hash_automata::encode::{encode_split, literal_tuple_values, SplitEncoding};
+use hash_automata::theory::{dest_automaton, eval_ground, AutomataTheory};
+use hash_logic::conv::inst_theorem;
+use hash_logic::prelude::*;
+use hash_netlist::prelude::*;
+use hash_retiming::prelude::{forward_retime, maximal_forward_cut, Cut};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// The result of a formal retiming step.
+#[derive(Clone, Debug)]
+pub struct FormalRetiming {
+    /// The correctness theorem: `⊢ automaton comb q = automaton comb' q'`.
+    pub theorem: Theorem,
+    /// The retimed netlist (produced by the conventional move and
+    /// cross-checked against the theorem's new initial values).
+    pub retimed: Netlist,
+    /// The term-level encoding of the original circuit along the cut.
+    pub encoding: SplitEncoding,
+    /// The new initial values of the shifted registers, as computed *by the
+    /// kernel* (step 4, `f(q)`), in mid-tuple order.
+    pub new_initial_values: Vec<BitVec>,
+    /// Wall-clock time of the formal derivation only (excluding the
+    /// conventional netlist manipulation).
+    pub derivation_time: Duration,
+}
+
+/// Options controlling the formal retiming step.
+#[derive(Clone, Copy, Debug)]
+pub struct RetimeOptions {
+    /// Re-normalise ("join") the retimed combinational term — the paper's
+    /// step 3. Joining expands the let-bound structure, so it is only
+    /// advisable for small circuits; the theorem is equally valid without
+    /// it.
+    pub join_parts: bool,
+}
+
+impl Default for RetimeOptions {
+    fn default() -> Self {
+        RetimeOptions { join_parts: false }
+    }
+}
+
+/// The HASH formal synthesis engine.
+pub struct Hash {
+    theory: Theory,
+    bools: BoolTheory,
+    pairs: PairTheory,
+    automata: AutomataTheory,
+    retiming: RetimingTheorem,
+}
+
+impl Hash {
+    /// Installs the logical theories and derives the universal retiming
+    /// theorem (the "once and for all" work of the formal-synthesis-tool
+    /// designer).
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the theories cannot be installed (which does not
+    /// happen for a fresh [`Theory`]).
+    pub fn new() -> Result<Hash> {
+        let mut theory = Theory::new();
+        let bools = BoolTheory::install(&mut theory)?;
+        let pairs = PairTheory::install(&mut theory)?;
+        let automata = AutomataTheory::install(&mut theory)?;
+        let retiming = derive_retiming_theorem(&bools, &pairs, &automata)?;
+        Ok(Hash {
+            theory,
+            bools,
+            pairs,
+            automata,
+            retiming,
+        })
+    }
+
+    /// The universal retiming theorem (derived once at construction).
+    pub fn retiming_theorem(&self) -> &Theorem {
+        &self.retiming.theorem
+    }
+
+    /// The underlying logical theory (axioms, definitions, computation
+    /// rules) — useful for auditing the trust base.
+    pub fn theory(&self) -> &Theory {
+        &self.theory
+    }
+
+    /// The boolean derived-rule layer.
+    pub fn bools(&self) -> &BoolTheory {
+        &self.bools
+    }
+
+    /// The pair theory.
+    pub fn pairs(&self) -> &PairTheory {
+        &self.pairs
+    }
+
+    /// The Automata theory.
+    pub fn automata(&self) -> &AutomataTheory {
+        &self.automata
+    }
+
+    /// Performs the formal retiming step for the given cut.
+    ///
+    /// # Errors
+    ///
+    /// Fails (without producing any theorem) if the cut does not match the
+    /// universal pattern — the paper's "faulty heuristics" case — or if the
+    /// circuit cannot be encoded.
+    pub fn formal_retime(
+        &mut self,
+        netlist: &Netlist,
+        cut: &Cut,
+        options: RetimeOptions,
+    ) -> Result<FormalRetiming> {
+        let start = Instant::now();
+
+        // Step 1: split the combinational part into f and g along the cut.
+        let encoding = encode_split(&mut self.theory, netlist, cut)?;
+
+        // Step 2: apply the universal retiming theorem by instantiation.
+        let mut type_subst = TypeSubst::new();
+        type_subst.insert("i".into(), encoding.input_ty.clone());
+        type_subst.insert("o".into(), encoding.output_ty.clone());
+        type_subst.insert("s".into(), encoding.state_ty.clone());
+        type_subst.insert("t".into(), encoding.mid_ty.clone());
+        let term_subst: TermSubst = vec![
+            (self.retiming.f_var.clone(), Rc::clone(&encoding.f_term)),
+            (self.retiming.g_var.clone(), Rc::clone(&encoding.g_term)),
+            (self.retiming.q_var.clone(), Rc::clone(&encoding.init_term)),
+        ];
+        let mut theorem = inst_theorem(&self.retiming.theorem, &type_subst, &term_subst)?;
+
+        // The instantiated left-hand side is exactly the encoded circuit.
+        let (lhs, _) = theorem.dest_eq()?;
+        if !lhs.aconv(&encoding.circuit_term) {
+            return Err(HashError::CrossCheck {
+                message: "instantiated theorem does not match the encoded circuit".to_string(),
+            });
+        }
+
+        // Step 3 (optional): join f and g into a single combinational part.
+        if options.join_parts {
+            theorem = Theorem::trans(&theorem, &self.join_step_of(&theorem)?)?;
+        }
+
+        // Step 4: evaluate the new initial state f(q).
+        let (_, rhs) = theorem.dest_eq()?;
+        let (_, fq_term) = dest_automaton(&rhs)?;
+        let eval_thm = eval_ground(&self.theory, &self.pairs, &fq_term)?;
+        let (rhs_rator, _) = rhs.dest_comb()?;
+        let rhs_update = Theorem::ap_term(rhs_rator, &eval_thm)?;
+        theorem = Theorem::trans(&theorem, &rhs_update)?;
+
+        let derivation_time = start.elapsed();
+
+        // Extract the kernel-computed initial values and cross-check them
+        // against the conventional netlist transformation.
+        let (_, final_rhs) = theorem.dest_eq()?;
+        let (_, new_init_term) = dest_automaton(&final_rhs)?;
+        let new_initial_values = literal_tuple_values(&new_init_term)?;
+        let retimed = forward_retime(netlist, cut)?;
+        self.cross_check(&encoding, &new_initial_values, &retimed)?;
+
+        Ok(FormalRetiming {
+            theorem,
+            retimed,
+            encoding,
+            new_initial_values,
+            derivation_time,
+        })
+    }
+
+    /// Performs the formal retiming step using the maximal forward cut
+    /// chosen automatically by the (untrusted) heuristics — the fully
+    /// automatic flow of the paper's experiments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no retimable block exists or the derivation fails.
+    pub fn formal_retime_auto(
+        &mut self,
+        netlist: &Netlist,
+        options: RetimeOptions,
+    ) -> Result<FormalRetiming> {
+        let cut = maximal_forward_cut(netlist);
+        if cut.is_empty() {
+            return Err(HashError::Retiming(
+                hash_retiming::RetimingError::BadCut {
+                    message: "no retimable block exists".to_string(),
+                },
+            ));
+        }
+        self.formal_retime(netlist, &cut, options)
+    }
+
+    /// The "join" / logic-simplification step: given a synthesis theorem
+    /// `⊢ a = automaton c q`, derives `⊢ automaton c q = automaton c' q`
+    /// where `c'` is the beta/projection normal form of `c`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the right-hand side is not an automaton term.
+    pub fn join_step_of(&self, theorem: &Theorem) -> Result<Theorem> {
+        let (_, rhs) = theorem.dest_eq()?;
+        let (comb, init) = dest_automaton(&rhs)?;
+        let mut rw = Rewriter::new().with_max_passes(100_000);
+        rw.add_eqs(&self.pairs.projection_eqs())?;
+        let conv = rw.rewrite(&comb)?;
+        let (automaton_partial, _) = rhs.dest_comb()?;
+        let (automaton_const, _) = automaton_partial.dest_comb()?;
+        let cong = Theorem::ap_term(automaton_const, &conv)?;
+        Ok(Theorem::ap_thm(&cong, &init)?)
+    }
+
+    /// Composes two synthesis theorems `⊢ a = b` and `⊢ b = c` into the
+    /// compound step `⊢ a = c`. The cost is a single transitivity rule —
+    /// the paper's argument for why combined synthesis steps stay cheap.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the middle terms do not match.
+    pub fn compound(&self, first: &Theorem, second: &Theorem) -> Result<Theorem> {
+        Ok(Theorem::trans(first, second)?)
+    }
+
+    /// Verifies that the kernel-computed initial values agree with the
+    /// conventional netlist transformation.
+    fn cross_check(
+        &self,
+        encoding: &SplitEncoding,
+        kernel_values: &[BitVec],
+        retimed: &Netlist,
+    ) -> Result<()> {
+        // Kernel value tuple order: cut outputs first, then kept registers.
+        // In the retimed netlist the kept registers come first (in original
+        // order) and the new registers (one per cut output) are appended.
+        let kept = encoding.kept_registers.len();
+        let cut_outputs = encoding.cut_outputs.len();
+        if kernel_values.len() != kept + cut_outputs {
+            return Err(HashError::CrossCheck {
+                message: format!(
+                    "kernel produced {} initial values, expected {}",
+                    kernel_values.len(),
+                    kept + cut_outputs
+                ),
+            });
+        }
+        let new_regs = &retimed.registers()[retimed.registers().len() - cut_outputs..];
+        for (k, reg) in new_regs.iter().enumerate() {
+            let kernel = kernel_values[k];
+            if reg.init != kernel {
+                return Err(HashError::CrossCheck {
+                    message: format!(
+                        "register {k}: kernel computed {kernel}, conventional retiming {}",
+                        reg.init
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Hash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hash")
+            .field("theory", &self.theory)
+            .field("retiming_theorem", &self.retiming.theorem.concl().to_string())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hash_circuits::figure2::Figure2;
+    use hash_netlist::sim::{random_stimuli, traces_equal};
+
+    #[test]
+    fn formal_retime_figure2() {
+        let mut hash = Hash::new().unwrap();
+        let fig = Figure2::new(8);
+        let result = hash
+            .formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+            .unwrap();
+        // The theorem is closed and equates two automaton terms.
+        assert!(result.theorem.is_closed());
+        let (lhs, rhs) = result.theorem.concl().dest_eq().unwrap();
+        assert!(lhs.head_is_const("automaton"));
+        assert!(rhs.head_is_const("automaton"));
+        // The kernel computed f(q) = (1, 0).
+        assert_eq!(result.new_initial_values[0].as_u64(), 1);
+        // The retimed netlist behaves identically.
+        let stim = random_stimuli(&fig.netlist, 50, 11);
+        assert!(traces_equal(&fig.netlist, &result.retimed, &stim).unwrap());
+    }
+
+    #[test]
+    fn formal_retime_with_join_step() {
+        let mut hash = Hash::new().unwrap();
+        let fig = Figure2::new(4);
+        let joined = hash
+            .formal_retime(
+                &fig.netlist,
+                &fig.correct_cut(),
+                RetimeOptions { join_parts: true },
+            )
+            .unwrap();
+        assert!(joined.theorem.is_closed());
+        // Joining must not change the computed initial values.
+        assert_eq!(joined.new_initial_values[0].as_u64(), 1);
+    }
+
+    #[test]
+    fn faulty_cut_produces_no_theorem() {
+        let mut hash = Hash::new().unwrap();
+        let fig = Figure2::new(8);
+        let err = hash
+            .formal_retime(&fig.netlist, &fig.false_cut(), RetimeOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, HashError::Logic(_)), "{err}");
+    }
+
+    #[test]
+    fn compound_step_composes_by_transitivity() {
+        let mut hash = Hash::new().unwrap();
+        let fig = Figure2::new(4);
+        let step1 = hash
+            .formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+            .unwrap();
+        let step2 = hash.join_step_of(&step1.theorem).unwrap();
+        let compound = hash.compound(&step1.theorem, &step2).unwrap();
+        assert!(compound.is_closed());
+        let (lhs, _) = compound.concl().dest_eq().unwrap();
+        assert!(lhs.aconv(&step1.encoding.circuit_term));
+    }
+
+    #[test]
+    fn automatic_flow_uses_the_heuristic_cut() {
+        let mut hash = Hash::new().unwrap();
+        let fig = Figure2::new(6);
+        let result = hash
+            .formal_retime_auto(&fig.netlist, RetimeOptions::default())
+            .unwrap();
+        assert!(result.theorem.is_closed());
+        // A purely combinational circuit has no retimable block.
+        let mut comb = Netlist::new("comb");
+        let a = comb.add_input("a", 2);
+        let b = comb.not(a, "b").unwrap();
+        comb.mark_output(b);
+        assert!(hash
+            .formal_retime_auto(&comb, RetimeOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn trust_base_stays_fixed_across_runs() {
+        let mut hash = Hash::new().unwrap();
+        let before = hash.theory().axioms().len();
+        for n in [2u32, 4, 8] {
+            let fig = Figure2::new(n);
+            hash.formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+                .unwrap();
+        }
+        assert_eq!(
+            hash.theory().axioms().len(),
+            before,
+            "formal synthesis must not add axioms"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Combinational equivalence and tautology checking.
+//!
+//! The paper's Section II lists boolean tautology checkers as the first
+//! automatic post-synthesis verification technique: "they can only be
+//! applied to pure combinational circuits and to sequential circuits with
+//! the same state representation", and their cost grows exponentially with
+//! circuit size. This module provides that baseline; it is also reused by
+//! the sequential methods to compare outputs.
+
+use crate::error::{is_resource_limit, EquivError, Result};
+use crate::machine::ProductMachine;
+use crate::result::{Verdict, VerificationResult};
+use hash_netlist::gate::bit_blast;
+use hash_netlist::prelude::*;
+use std::time::Instant;
+
+/// Checks combinational equivalence of two circuits (same inputs, same
+/// outputs, compared for every input assignment), treating register outputs
+/// as additional free inputs — i.e. the "same state representation"
+/// requirement of a pure tautology check.
+pub fn check_combinational(a: &Netlist, b: &Netlist, node_limit: usize) -> VerificationResult {
+    let start = Instant::now();
+    match run(a, b, node_limit) {
+        Ok(verdict) => {
+            VerificationResult::new("tautology", verdict, start.elapsed(), 1, node_limit.min(1))
+        }
+        Err(e) if is_resource_limit(&e) => VerificationResult::new(
+            "tautology",
+            Verdict::ResourceLimit,
+            start.elapsed(),
+            1,
+            node_limit,
+        ),
+        Err(_) => {
+            VerificationResult::new("tautology", Verdict::Inconclusive, start.elapsed(), 1, 0)
+        }
+    }
+}
+
+fn run(a: &Netlist, b: &Netlist, node_limit: usize) -> Result<Verdict> {
+    let ga = bit_blast(a)?.netlist;
+    let gb = bit_blast(b)?.netlist;
+    if ga.registers().len() != gb.registers().len() {
+        return Err(EquivError::InterfaceMismatch {
+            message: format!(
+                "tautology checking requires the same state representation: {} vs {} registers",
+                ga.registers().len(),
+                gb.registers().len()
+            ),
+        });
+    }
+    let mut pm = ProductMachine::build(&ga, &gb, node_limit)?;
+    // Identify the state variables of both circuits pairwise (same state
+    // representation) and compare outputs and next-state functions.
+    let half = ga.registers().len();
+    let mut subs: Vec<(u32, hash_bdd::BddRef)> = Vec::new();
+    for i in 0..half {
+        let rep = pm.manager.var(pm.state_vars[i])?;
+        subs.push((pm.state_vars[half + i], rep));
+    }
+    for (fa, fb) in pm.outputs_a.clone().iter().zip(pm.outputs_b.clone().iter()) {
+        let fb_sub = pm.manager.compose_many(*fb, &subs)?;
+        if *fa != fb_sub {
+            return Ok(Verdict::NotEquivalent);
+        }
+    }
+    let (next_a, next_b) = pm.next_fns.split_at(half);
+    let next_a = next_a.to_vec();
+    let next_b = next_b.to_vec();
+    for (fa, fb) in next_a.iter().zip(next_b.iter()) {
+        let fb_sub = pm.manager.compose_many(*fb, &subs)?;
+        if *fa != fb_sub {
+            return Ok(Verdict::NotEquivalent);
+        }
+    }
+    Ok(Verdict::Equivalent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hash_circuits::figure2::Figure2;
+    use hash_retiming::prelude::*;
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let a = Figure2::new(4);
+        let b = Figure2::new(4);
+        let r = check_combinational(&a.netlist, &b.netlist, 1 << 20);
+        assert_eq!(r.verdict, Verdict::Equivalent, "{r}");
+    }
+
+    #[test]
+    fn retimed_circuit_fails_the_same_state_requirement() {
+        // After retiming the state representation changes, so the pure
+        // combinational check cannot be applied / does not prove equality —
+        // exactly the limitation the paper points out.
+        let fig = Figure2::new(4);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        let r = check_combinational(&fig.netlist, &retimed, 1 << 20);
+        assert_ne!(r.verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    fn genuinely_different_logic_is_refuted() {
+        let mut a = Netlist::new("a");
+        let x = a.add_input("x", 4);
+        let y = a.add_input("y", 4);
+        let s = a.add(x, y, "s").unwrap();
+        a.mark_output(s);
+        let mut b = Netlist::new("b");
+        let x2 = b.add_input("x", 4);
+        let y2 = b.add_input("y", 4);
+        let s2 = b.xor(x2, y2, "s").unwrap();
+        b.mark_output(s2);
+        let r = check_combinational(&a, &b, 1 << 20);
+        assert_eq!(r.verdict, Verdict::NotEquivalent);
+
+        // And a correct alternative formulation is accepted: x + y = y + x.
+        let mut c = Netlist::new("c");
+        let x3 = c.add_input("x", 4);
+        let y3 = c.add_input("y", 4);
+        let s3 = c.add(y3, x3, "s").unwrap();
+        c.mark_output(s3);
+        let r2 = check_combinational(&a, &c, 1 << 20);
+        assert_eq!(r2.verdict, Verdict::Equivalent);
+    }
+}

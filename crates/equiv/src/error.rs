@@ -1,0 +1,90 @@
+//! Error type for the verification baselines.
+
+use hash_bdd::BddError;
+use hash_netlist::NetlistError;
+use std::fmt;
+
+/// Errors raised by the equivalence-checking baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivError {
+    /// The two circuits do not have the same interface.
+    InterfaceMismatch {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A netlist passed to a gate-level method is not gate level.
+    NotGateLevel {
+        /// The offending netlist (or cell).
+        name: String,
+    },
+    /// An underlying BDD operation failed (usually the node limit).
+    Bdd(BddError),
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+    /// An internal invariant was violated.
+    Internal {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::InterfaceMismatch { message } => {
+                write!(f, "interface mismatch: {message}")
+            }
+            EquivError::NotGateLevel { name } => {
+                write!(f, "netlist is not gate level: {name}")
+            }
+            EquivError::Bdd(e) => write!(f, "BDD error: {e}"),
+            EquivError::Netlist(e) => write!(f, "netlist error: {e}"),
+            EquivError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EquivError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EquivError::Bdd(e) => Some(e),
+            EquivError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BddError> for EquivError {
+    fn from(e: BddError) -> Self {
+        EquivError::Bdd(e)
+    }
+}
+
+impl From<NetlistError> for EquivError {
+    fn from(e: NetlistError) -> Self {
+        EquivError::Netlist(e)
+    }
+}
+
+/// Whether the error represents a resource blow-up (BDD node limit), which
+/// the experiment harness reports as a dash like the paper's tables.
+pub fn is_resource_limit(e: &EquivError) -> bool {
+    matches!(e, EquivError::Bdd(BddError::NodeLimit { .. }))
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EquivError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_classification() {
+        let e: EquivError = BddError::NodeLimit { limit: 10 }.into();
+        assert!(is_resource_limit(&e));
+        assert!(e.to_string().contains("BDD"));
+        let e2: EquivError = NetlistError::UnsupportedWidth { width: 0 }.into();
+        assert!(!is_resource_limit(&e2));
+    }
+}

@@ -1,0 +1,61 @@
+//! # hash-equiv
+//!
+//! Post-synthesis verification baselines for the DATE'97 HASH retiming
+//! reproduction — the approaches the paper compares its formal synthesis
+//! against in Tables I and II:
+//!
+//! * [`comb`] — boolean tautology / combinational equivalence checking
+//!   (only applicable when the state representation is unchanged),
+//! * [`smv`] — SMV-style symbolic model checking: BDD-based breadth-first
+//!   traversal of the product machine,
+//! * [`sis`] — SIS-style explicit FSM equivalence (product state
+//!   enumeration),
+//! * [`eijk`] — van Eijk's checker, plain and with register-correspondence /
+//!   functional-dependency exploitation (`Eijk+`).
+//!
+//! All methods work on the bit-blasted gate-level form of the circuits
+//! (see [`hash_netlist::gate`]), report wall-clock time, iteration counts
+//! and peak structure sizes, and signal blow-ups as
+//! [`Verdict::ResourceLimit`](result::Verdict::ResourceLimit) — the dashes
+//! in the paper's tables.
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_circuits::figure2::Figure2;
+//! use hash_equiv::prelude::*;
+//! use hash_retiming::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! let fig = Figure2::new(3);
+//! let retimed = forward_retime(&fig.netlist, &fig.correct_cut())?;
+//! let result = check_equivalence_smv(&fig.netlist, &retimed, SmvOptions::default());
+//! assert!(result.verdict.is_equivalent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod comb;
+pub mod eijk;
+pub mod error;
+pub mod machine;
+pub mod result;
+pub mod sis;
+pub mod smv;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::comb::check_combinational;
+    pub use crate::eijk::{check_equivalence_eijk, check_equivalence_eijk_plus, EijkOptions};
+    pub use crate::error::{EquivError, Result};
+    pub use crate::machine::ProductMachine;
+    pub use crate::result::{Verdict, VerificationResult};
+    pub use crate::sis::{check_equivalence_sis, SisOptions};
+    pub use crate::smv::{check_equivalence_smv, SmvOptions};
+}
+
+pub use error::EquivError;
+pub use result::{Verdict, VerificationResult};

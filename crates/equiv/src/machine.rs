@@ -1,0 +1,315 @@
+//! Symbolic (BDD-based) machine representation of gate-level netlists and
+//! the product machine used by the sequential equivalence baselines.
+//!
+//! The paper's point of comparison is that all post-synthesis verification
+//! techniques must work on "flat bit-level descriptions at the gate level"
+//! and represent sets of states with BDDs whose size grows with the number
+//! of state bits; this module builds exactly those structures from the
+//! bit-blasted netlists of [`hash_netlist::gate`].
+
+use crate::error::{EquivError, Result};
+use hash_bdd::{BddManager, BddRef};
+use hash_netlist::prelude::*;
+use std::collections::BTreeMap;
+
+/// A symbolic product machine of two gate-level circuits with a shared
+/// input alphabet.
+#[derive(Debug)]
+pub struct ProductMachine {
+    /// The BDD manager holding every function of the product machine.
+    pub manager: BddManager,
+    /// BDD variables of the primary inputs (shared by both circuits).
+    pub input_vars: Vec<u32>,
+    /// Current-state BDD variables, one per register of A then B.
+    pub state_vars: Vec<u32>,
+    /// Next-state BDD variables, aligned with `state_vars`.
+    pub next_vars: Vec<u32>,
+    /// Next-state functions over current-state and input variables.
+    pub next_fns: Vec<BddRef>,
+    /// Initial values of the registers, aligned with `state_vars`.
+    pub init_values: Vec<bool>,
+    /// Output functions of circuit A (bit-level, in output order).
+    pub outputs_a: Vec<BddRef>,
+    /// Output functions of circuit B.
+    pub outputs_b: Vec<BddRef>,
+}
+
+/// Builds the symbolic functions of a single gate-level netlist inside an
+/// existing manager, given the variable assignment for its inputs and
+/// register outputs.
+fn build_functions(
+    manager: &mut BddManager,
+    netlist: &Netlist,
+    input_vars: &[u32],
+    state_vars: &[u32],
+) -> Result<(Vec<BddRef>, Vec<BddRef>, BTreeMap<SignalId, BddRef>)> {
+    if !netlist.is_gate_level() {
+        return Err(EquivError::NotGateLevel {
+            name: netlist.name().to_string(),
+        });
+    }
+    let mut values: BTreeMap<SignalId, BddRef> = BTreeMap::new();
+    for (id, var) in netlist.inputs().iter().zip(input_vars.iter()) {
+        values.insert(*id, manager.var(*var)?);
+    }
+    for (r, var) in netlist.registers().iter().zip(state_vars.iter()) {
+        values.insert(r.output, manager.var(*var)?);
+    }
+    for ci in netlist.topo_order()? {
+        let cell = &netlist.cells()[ci];
+        let get = |id: &SignalId| -> Result<BddRef> {
+            values
+                .get(id)
+                .copied()
+                .ok_or_else(|| EquivError::Internal {
+                    message: format!("missing BDD for signal {id}"),
+                })
+        };
+        let f = match &cell.op {
+            CombOp::Const(v) => manager.constant(v.is_true()),
+            CombOp::Not => {
+                let a = get(&cell.inputs[0])?;
+                manager.not(a)?
+            }
+            CombOp::And => {
+                let a = get(&cell.inputs[0])?;
+                let b = get(&cell.inputs[1])?;
+                manager.and(a, b)?
+            }
+            CombOp::Or => {
+                let a = get(&cell.inputs[0])?;
+                let b = get(&cell.inputs[1])?;
+                manager.or(a, b)?
+            }
+            CombOp::Xor => {
+                let a = get(&cell.inputs[0])?;
+                let b = get(&cell.inputs[1])?;
+                manager.xor(a, b)?
+            }
+            CombOp::Mux => {
+                let s = get(&cell.inputs[0])?;
+                let a = get(&cell.inputs[1])?;
+                let b = get(&cell.inputs[2])?;
+                manager.ite(s, a, b)?
+            }
+            other => {
+                return Err(EquivError::NotGateLevel {
+                    name: format!("{}: cell {other}", netlist.name()),
+                })
+            }
+        };
+        values.insert(cell.output, f);
+    }
+    let next_fns = netlist
+        .registers()
+        .iter()
+        .map(|r| {
+            values.get(&r.input).copied().ok_or_else(|| EquivError::Internal {
+                message: "missing next-state function".to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let output_fns = netlist
+        .outputs()
+        .iter()
+        .map(|o| {
+            values.get(o).copied().ok_or_else(|| EquivError::Internal {
+                message: "missing output function".to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((next_fns, output_fns, values))
+}
+
+impl ProductMachine {
+    /// Builds the product machine of two gate-level circuits. The circuits
+    /// must have the same number of primary inputs and outputs (bit-level).
+    ///
+    /// `node_limit` bounds the BDD size; exceeding it is reported as a
+    /// resource limit by the callers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the interfaces differ, a netlist is not gate level, or the
+    /// node limit is hit while building the functions.
+    pub fn build(a: &Netlist, b: &Netlist, node_limit: usize) -> Result<ProductMachine> {
+        if a.inputs().len() != b.inputs().len() {
+            return Err(EquivError::InterfaceMismatch {
+                message: format!(
+                    "{} has {} inputs, {} has {}",
+                    a.name(),
+                    a.inputs().len(),
+                    b.name(),
+                    b.inputs().len()
+                ),
+            });
+        }
+        if a.outputs().len() != b.outputs().len() {
+            return Err(EquivError::InterfaceMismatch {
+                message: format!(
+                    "{} has {} outputs, {} has {}",
+                    a.name(),
+                    a.outputs().len(),
+                    b.name(),
+                    b.outputs().len()
+                ),
+            });
+        }
+        let num_inputs = a.inputs().len() as u32;
+        let num_state = (a.registers().len() + b.registers().len()) as u32;
+        // Variable order: inputs first, then interleaved (current, next)
+        // pairs so that renaming next -> current is monotone.
+        let mut manager =
+            BddManager::new(num_inputs + 2 * num_state).with_node_limit(node_limit);
+        let input_vars: Vec<u32> = (0..num_inputs).collect();
+        let state_vars: Vec<u32> = (0..num_state).map(|i| num_inputs + 2 * i).collect();
+        let next_vars: Vec<u32> = (0..num_state).map(|i| num_inputs + 2 * i + 1).collect();
+
+        let state_a = &state_vars[..a.registers().len()];
+        let state_b = &state_vars[a.registers().len()..];
+        let (next_a, out_a, _) = build_functions(&mut manager, a, &input_vars, state_a)?;
+        let (next_b, out_b, _) = build_functions(&mut manager, b, &input_vars, state_b)?;
+        let mut next_fns = next_a;
+        next_fns.extend(next_b);
+        let init_values: Vec<bool> = a
+            .registers()
+            .iter()
+            .chain(b.registers().iter())
+            .map(|r| r.init.is_true())
+            .collect();
+
+        Ok(ProductMachine {
+            manager,
+            input_vars,
+            state_vars,
+            next_vars,
+            next_fns,
+            init_values,
+            outputs_a: out_a,
+            outputs_b: out_b,
+        })
+    }
+
+    /// The BDD of the initial product state (a single minterm over the
+    /// current-state variables).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a node-limit blow-up.
+    pub fn initial_state(&mut self) -> Result<BddRef> {
+        let mut acc = self.manager.constant(true);
+        for (var, value) in self.state_vars.iter().zip(self.init_values.iter()) {
+            let lit = if *value {
+                self.manager.var(*var)?
+            } else {
+                self.manager.nvar(*var)?
+            };
+            acc = self.manager.and(acc, lit)?;
+        }
+        Ok(acc)
+    }
+
+    /// The miter: true in a (state, input) pair where some output of A
+    /// differs from the corresponding output of B.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a node-limit blow-up.
+    pub fn output_difference(&mut self) -> Result<BddRef> {
+        let mut acc = self.manager.constant(false);
+        for (fa, fb) in self.outputs_a.iter().zip(self.outputs_b.iter()) {
+            let diff = self.manager.xor(*fa, *fb)?;
+            acc = self.manager.or(acc, diff)?;
+        }
+        Ok(acc)
+    }
+
+    /// The transition relation `T(state, input, next) = ∧ next_i ↔ f_i`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a node-limit blow-up.
+    pub fn transition_relation(&mut self) -> Result<BddRef> {
+        let mut acc = self.manager.constant(true);
+        for (nv, f) in self.next_vars.iter().zip(self.next_fns.iter()) {
+            let nvar = self.manager.var(*nv)?;
+            let bi = self.manager.xnor(nvar, *f)?;
+            acc = self.manager.and(acc, bi)?;
+        }
+        Ok(acc)
+    }
+
+    /// The image of a state set under the transition relation, expressed
+    /// over the current-state variables again.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a node-limit blow-up.
+    pub fn image(&mut self, states: BddRef, transition: BddRef) -> Result<BddRef> {
+        let mut quantified: Vec<u32> = self.state_vars.clone();
+        quantified.extend(self.input_vars.iter().copied());
+        let img_next = self
+            .manager
+            .and_exists(states, transition, &quantified)?;
+        let rename: Vec<(u32, u32)> = self
+            .next_vars
+            .iter()
+            .zip(self.state_vars.iter())
+            .map(|(n, c)| (*n, *c))
+            .collect();
+        Ok(self.manager.rename(img_next, &rename)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hash_netlist::gate::bit_blast;
+
+    fn toggler(init: bool) -> Netlist {
+        // q' = not q, output q.
+        let mut n = Netlist::new("toggler");
+        let q = n.add_signal("q", 1);
+        let nq = n.not(q, "nq").unwrap();
+        n.add_register(nq, q, BitVec::bit(init)).unwrap();
+        n.mark_output(q);
+        n
+    }
+
+    #[test]
+    fn product_machine_of_togglers() {
+        let a = bit_blast(&toggler(false)).unwrap().netlist;
+        let b = bit_blast(&toggler(false)).unwrap().netlist;
+        let mut pm = ProductMachine::build(&a, &b, 1 << 20).unwrap();
+        assert_eq!(pm.state_vars.len(), 2);
+        let init = pm.initial_state().unwrap();
+        assert!(pm.manager.eval(init, &[false, false, false, false, false]));
+        let t = pm.transition_relation().unwrap();
+        let img = pm.image(init, t).unwrap();
+        // From (0,0) the only successor is (1,1).
+        let sat = pm.manager.any_sat(img).unwrap();
+        assert!(sat[pm.state_vars[0] as usize]);
+        assert!(sat[pm.state_vars[1] as usize]);
+    }
+
+    #[test]
+    fn interface_mismatch_is_reported() {
+        let a = bit_blast(&toggler(false)).unwrap().netlist;
+        let mut other = Netlist::new("io");
+        let x = other.add_input("x", 1);
+        let y = other.not(x, "y").unwrap();
+        other.mark_output(y);
+        let err = ProductMachine::build(&a, &other, 1 << 20).unwrap_err();
+        assert!(matches!(err, EquivError::InterfaceMismatch { .. }));
+    }
+
+    #[test]
+    fn rt_level_netlists_are_rejected() {
+        let mut n = Netlist::new("rt");
+        let x = n.add_input("x", 4);
+        let y = n.inc(x, "y").unwrap();
+        n.mark_output(y);
+        let err = ProductMachine::build(&n, &n, 1 << 20).unwrap_err();
+        assert!(matches!(err, EquivError::NotGateLevel { .. }));
+    }
+}

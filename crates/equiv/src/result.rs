@@ -1,0 +1,106 @@
+//! Verification outcomes and statistics reported by the baselines.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The verdict of a verification run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The two circuits were proved equivalent.
+    Equivalent,
+    /// A difference was found (with a reachable distinguishing state).
+    NotEquivalent,
+    /// The method gave up without an answer (e.g. induction failed) — the
+    /// question marks in the paper's Table II.
+    Inconclusive,
+    /// The run exceeded its resource limit (BDD nodes, states or time) —
+    /// the dashes in the paper's tables.
+    ResourceLimit,
+}
+
+impl Verdict {
+    /// Whether the verdict establishes equivalence.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Verdict::Equivalent)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Equivalent => write!(f, "equivalent"),
+            Verdict::NotEquivalent => write!(f, "NOT equivalent"),
+            Verdict::Inconclusive => write!(f, "inconclusive"),
+            Verdict::ResourceLimit => write!(f, "resource limit"),
+        }
+    }
+}
+
+/// The result of a verification run: verdict plus cost statistics.
+#[derive(Clone, Debug)]
+pub struct VerificationResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Wall-clock time of the run.
+    pub duration: Duration,
+    /// Number of fixed-point iterations / traversal steps.
+    pub iterations: usize,
+    /// Peak size of the main symbolic structure (BDD nodes) or the number
+    /// of explicit states explored.
+    pub peak_size: usize,
+    /// A short description of the method.
+    pub method: &'static str,
+}
+
+impl VerificationResult {
+    /// Creates a result.
+    pub fn new(
+        method: &'static str,
+        verdict: Verdict,
+        duration: Duration,
+        iterations: usize,
+        peak_size: usize,
+    ) -> VerificationResult {
+        VerificationResult {
+            verdict,
+            duration,
+            iterations,
+            peak_size,
+            method,
+        }
+    }
+}
+
+impl fmt::Display for VerificationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} in {:.3}s ({} iterations, peak {})",
+            self.method,
+            self.verdict,
+            self.duration.as_secs_f64(),
+            self.iterations,
+            self.peak_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_method_and_verdict() {
+        let r = VerificationResult::new(
+            "smv",
+            Verdict::Equivalent,
+            Duration::from_millis(1500),
+            3,
+            42,
+        );
+        let s = r.to_string();
+        assert!(s.contains("smv") && s.contains("equivalent") && s.contains("42"));
+        assert!(Verdict::Equivalent.is_equivalent());
+        assert!(!Verdict::Inconclusive.is_equivalent());
+    }
+}

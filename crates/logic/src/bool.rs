@@ -1,0 +1,734 @@
+//! The boolean theory: logical connectives and the derived inference rules
+//! built on top of the primitive kernel.
+//!
+//! Everything here is *derived*: the connectives are introduced by
+//! definition (a conservative extension) and the rules (`CONJ`, `MP`,
+//! `DISCH`, `GEN`, `SPEC`, ...) are programmed proofs that only call the
+//! primitive rules of [`crate::thm`]. This mirrors the structure of the HOL
+//! system used in the paper and keeps the trusted core small.
+
+use crate::conv::{apply_def, beta_spine_thm};
+use crate::error::{LogicError, Result};
+use crate::term::{
+    list_mk_comb, mk_abs, mk_comb, mk_const, variant, Term, TermRef, Var,
+};
+use crate::theory::Theory;
+use crate::thm::Theorem;
+use crate::types::{Type, TypeSubst};
+use std::rc::Rc;
+
+/// The boolean theory: definitional theorems for the connectives plus the
+/// derived rules.
+#[derive(Clone, Debug)]
+pub struct BoolTheory {
+    /// `⊢ T = ((\p. p) = (\p. p))`
+    pub truth_def: Theorem,
+    /// `⊢ (/\) = \p q. (\f. f p q) = (\f. f T T)`
+    pub and_def: Theorem,
+    /// `⊢ (==>) = \p q. (p /\ q) = p`
+    pub imp_def: Theorem,
+    /// `⊢ (!) = \P. P = (\x. T)`
+    pub forall_def: Theorem,
+    /// `⊢ (?) = \P. !q. (!x. P x ==> q) ==> q`
+    pub exists_def: Theorem,
+    /// `⊢ (\/) = \p q. !r. (p ==> r) ==> (q ==> r) ==> r`
+    pub or_def: Theorem,
+    /// `⊢ F = !p. p`
+    pub false_def: Theorem,
+    /// `⊢ (~) = \p. p ==> F`
+    pub not_def: Theorem,
+    /// `⊢ T`
+    pub truth_thm: Theorem,
+}
+
+/// The boolean constant `T`.
+pub fn t_const() -> TermRef {
+    mk_const("T", Type::bool())
+}
+
+/// The boolean constant `F`.
+pub fn f_const() -> TermRef {
+    mk_const("F", Type::bool())
+}
+
+fn bin_bool_ty() -> Type {
+    Type::fun(Type::bool(), Type::fun(Type::bool(), Type::bool()))
+}
+
+/// Builds the conjunction `p /\ q`.
+///
+/// # Errors
+///
+/// Fails if either argument is not boolean.
+pub fn mk_conj(p: &TermRef, q: &TermRef) -> Result<TermRef> {
+    list_mk_comb(&mk_const("/\\", bin_bool_ty()), &[Rc::clone(p), Rc::clone(q)])
+}
+
+/// Builds the implication `p ==> q`.
+///
+/// # Errors
+///
+/// Fails if either argument is not boolean.
+pub fn mk_imp(p: &TermRef, q: &TermRef) -> Result<TermRef> {
+    list_mk_comb(&mk_const("==>", bin_bool_ty()), &[Rc::clone(p), Rc::clone(q)])
+}
+
+/// Builds the disjunction `p \/ q`.
+///
+/// # Errors
+///
+/// Fails if either argument is not boolean.
+pub fn mk_disj(p: &TermRef, q: &TermRef) -> Result<TermRef> {
+    list_mk_comb(&mk_const("\\/", bin_bool_ty()), &[Rc::clone(p), Rc::clone(q)])
+}
+
+/// Builds the negation `~p`.
+///
+/// # Errors
+///
+/// Fails if the argument is not boolean.
+pub fn mk_neg(p: &TermRef) -> Result<TermRef> {
+    mk_comb(&mk_const("~", Type::fun(Type::bool(), Type::bool())), p)
+}
+
+/// Builds the universal quantification `!v. body`.
+///
+/// # Errors
+///
+/// Fails if the body is not boolean.
+pub fn mk_forall(v: &Var, body: &TermRef) -> Result<TermRef> {
+    if !body.ty()?.is_bool() {
+        return Err(LogicError::ill_formed(
+            "mk_forall",
+            format!("body is not boolean: {body}"),
+        ));
+    }
+    let q = mk_const(
+        "!",
+        Type::fun(Type::fun(v.ty.clone(), Type::bool()), Type::bool()),
+    );
+    mk_comb(&q, &mk_abs(v, body))
+}
+
+/// Builds the existential quantification `?v. body`.
+///
+/// # Errors
+///
+/// Fails if the body is not boolean.
+pub fn mk_exists(v: &Var, body: &TermRef) -> Result<TermRef> {
+    if !body.ty()?.is_bool() {
+        return Err(LogicError::ill_formed(
+            "mk_exists",
+            format!("body is not boolean: {body}"),
+        ));
+    }
+    let q = mk_const(
+        "?",
+        Type::fun(Type::fun(v.ty.clone(), Type::bool()), Type::bool()),
+    );
+    mk_comb(&q, &mk_abs(v, body))
+}
+
+/// Iterated universal quantification.
+///
+/// # Errors
+///
+/// Fails if the body is not boolean.
+pub fn list_mk_forall(vars: &[Var], body: &TermRef) -> Result<TermRef> {
+    let mut acc = Rc::clone(body);
+    for v in vars.iter().rev() {
+        acc = mk_forall(v, &acc)?;
+    }
+    Ok(acc)
+}
+
+/// Iterated conjunction (right associated). The empty list is not allowed.
+///
+/// # Errors
+///
+/// Fails on an empty list.
+pub fn list_mk_conj(ps: &[TermRef]) -> Result<TermRef> {
+    let (last, init) = ps.split_last().ok_or_else(|| {
+        LogicError::ill_formed("list_mk_conj", "empty conjunction".to_string())
+    })?;
+    let mut acc = Rc::clone(last);
+    for p in init.iter().rev() {
+        acc = mk_conj(p, &acc)?;
+    }
+    Ok(acc)
+}
+
+fn dest_binop<'a>(name: &str, t: &'a Term) -> Option<(&'a TermRef, &'a TermRef)> {
+    if let Term::Comb(fl, r) = t {
+        if let Term::Comb(op, l) = fl.as_ref() {
+            if let Term::Const(c) = op.as_ref() {
+                if c.name == name {
+                    return Some((l, r));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Destructs a conjunction.
+///
+/// # Errors
+///
+/// Fails if the term is not a conjunction.
+pub fn dest_conj(t: &Term) -> Result<(TermRef, TermRef)> {
+    dest_binop("/\\", t)
+        .map(|(l, r)| (Rc::clone(l), Rc::clone(r)))
+        .ok_or_else(|| LogicError::ill_formed("dest_conj", format!("not a conjunction: {t}")))
+}
+
+/// Destructs an implication.
+///
+/// # Errors
+///
+/// Fails if the term is not an implication.
+pub fn dest_imp(t: &Term) -> Result<(TermRef, TermRef)> {
+    dest_binop("==>", t)
+        .map(|(l, r)| (Rc::clone(l), Rc::clone(r)))
+        .ok_or_else(|| LogicError::ill_formed("dest_imp", format!("not an implication: {t}")))
+}
+
+/// Destructs a universal quantification into `(bound variable, body)`.
+///
+/// # Errors
+///
+/// Fails if the term is not a universal quantification.
+pub fn dest_forall(t: &Term) -> Result<(Var, TermRef)> {
+    if let Term::Comb(q, abs) = t {
+        if let Term::Const(c) = q.as_ref() {
+            if c.name == "!" {
+                if let Term::Abs(v, body) = abs.as_ref() {
+                    return Ok((v.clone(), Rc::clone(body)));
+                }
+            }
+        }
+    }
+    Err(LogicError::ill_formed(
+        "dest_forall",
+        format!("not a universal quantification: {t}"),
+    ))
+}
+
+impl BoolTheory {
+    /// Installs the boolean theory into the given [`Theory`] and returns the
+    /// definitional theorems together with the derived rule implementations.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the relevant constants are already defined differently.
+    pub fn install(theory: &mut Theory) -> Result<BoolTheory> {
+        let bool_ty = Type::bool();
+        let p = Var::new("p", bool_ty.clone());
+        let q = Var::new("q", bool_ty.clone());
+        let r = Var::new("r", bool_ty.clone());
+
+        // T = ((\p. p) = (\p. p))
+        let idfn = mk_abs(&p, &p.term());
+        let truth_def =
+            theory.new_definition("T_DEF", "T", &crate::term::mk_eq(&idfn, &idfn)?)?;
+
+        // (/\) = \p q. (\f. f p q) = (\f. f T T)
+        let f = Var::new("f", bin_bool_ty());
+        let fpq = list_mk_comb(&f.term(), &[p.term(), q.term()])?;
+        let ftt = list_mk_comb(&f.term(), &[t_const(), t_const()])?;
+        let and_body = mk_abs(
+            &p,
+            &mk_abs(
+                &q,
+                &crate::term::mk_eq(&mk_abs(&f, &fpq), &mk_abs(&f, &ftt))?,
+            ),
+        );
+        let and_def = theory.new_definition("AND_DEF", "/\\", &and_body)?;
+
+        // (==>) = \p q. (p /\ q) = p
+        let imp_body = mk_abs(
+            &p,
+            &mk_abs(
+                &q,
+                &crate::term::mk_eq(&mk_conj(&p.term(), &q.term())?, &p.term())?,
+            ),
+        );
+        let imp_def = theory.new_definition("IMP_DEF", "==>", &imp_body)?;
+
+        // (!) = \P. P = (\x. T)
+        let elem = Type::var("a");
+        let big_p = Var::new("P", Type::fun(elem.clone(), Type::bool()));
+        let x = Var::new("x", elem.clone());
+        let forall_body = mk_abs(
+            &big_p,
+            &crate::term::mk_eq(&big_p.term(), &mk_abs(&x, &t_const()))?,
+        );
+        let forall_def = theory.new_definition("FORALL_DEF", "!", &forall_body)?;
+
+        // (?) = \P. !q. (!x. P x ==> q) ==> q
+        let px = mk_comb(&big_p.term(), &x.term())?;
+        let inner = mk_forall(&x, &mk_imp(&px, &q.term())?)?;
+        let exists_body = mk_abs(
+            &big_p,
+            &mk_forall(&q, &mk_imp(&inner, &q.term())?)?,
+        );
+        let exists_def = theory.new_definition("EXISTS_DEF", "?", &exists_body)?;
+
+        // (\/) = \p q. !r. (p ==> r) ==> (q ==> r) ==> r
+        let or_body = mk_abs(
+            &p,
+            &mk_abs(
+                &q,
+                &mk_forall(
+                    &r,
+                    &mk_imp(
+                        &mk_imp(&p.term(), &r.term())?,
+                        &mk_imp(&mk_imp(&q.term(), &r.term())?, &r.term())?,
+                    )?,
+                )?,
+            ),
+        );
+        let or_def = theory.new_definition("OR_DEF", "\\/", &or_body)?;
+
+        // F = !p. p
+        let false_body = mk_forall(&p, &p.term())?;
+        let false_def = theory.new_definition("F_DEF", "F", &false_body)?;
+
+        // (~) = \p. p ==> F
+        let not_body = mk_abs(&p, &mk_imp(&p.term(), &f_const())?);
+        let not_def = theory.new_definition("NOT_DEF", "~", &not_body)?;
+
+        // ⊢ T
+        let truth_thm = Theorem::eq_mp(&truth_def.sym()?, &Theorem::refl(&idfn)?)?;
+
+        Ok(BoolTheory {
+            truth_def,
+            and_def,
+            imp_def,
+            forall_def,
+            exists_def,
+            or_def,
+            false_def,
+            not_def,
+            truth_thm,
+        })
+    }
+
+    /// `⊢ T`.
+    pub fn truth(&self) -> Theorem {
+        self.truth_thm.clone()
+    }
+
+    /// `EQT_INTRO`: from `Γ ⊢ p`, derive `Γ ⊢ p = T`.
+    pub fn eqt_intro(&self, th: &Theorem) -> Result<Theorem> {
+        Theorem::deduct_antisym(th, &self.truth_thm)
+    }
+
+    /// `EQT_ELIM`: from `Γ ⊢ p = T`, derive `Γ ⊢ p`.
+    pub fn eqt_elim(&self, th: &Theorem) -> Result<Theorem> {
+        Theorem::eq_mp(&th.sym()?, &self.truth_thm)
+    }
+
+    /// `CONJ`: from `Γ ⊢ p` and `Δ ⊢ q`, derive `Γ ∪ Δ ⊢ p /\ q`.
+    pub fn conj(&self, th1: &Theorem, th2: &Theorem) -> Result<Theorem> {
+        let p = Rc::clone(th1.concl());
+        let q = Rc::clone(th2.concl());
+        let mut avoid = p.free_vars();
+        avoid.extend(q.free_vars());
+        for h in th1.hyps().iter().chain(th2.hyps().iter()) {
+            avoid.extend(h.free_vars());
+        }
+        let f = variant(&avoid, &Var::new("f", bin_bool_ty()));
+        let eqt1 = self.eqt_intro(th1)?;
+        let eqt2 = self.eqt_intro(th2)?;
+        let refl_f = Theorem::refl(&f.term())?;
+        let th_fpq = Theorem::mk_comb(&Theorem::mk_comb(&refl_f, &eqt1)?, &eqt2)?;
+        let th_abs = Theorem::abs(&f, &th_fpq)?;
+        let def_applied = apply_def(&self.and_def, &[p, q])?;
+        Theorem::eq_mp(&def_applied.sym()?, &th_abs)
+    }
+
+    /// Iterated [`BoolTheory::conj`] over a non-empty list (right associated).
+    pub fn conj_list(&self, thms: &[Theorem]) -> Result<Theorem> {
+        let (last, init) = thms.split_last().ok_or_else(|| {
+            LogicError::ill_formed("conj_list", "empty list of theorems".to_string())
+        })?;
+        let mut acc = last.clone();
+        for th in init.iter().rev() {
+            acc = self.conj(th, &acc)?;
+        }
+        Ok(acc)
+    }
+
+    /// Shared part of `CONJUNCT1`/`CONJUNCT2`: reduces `(\f. f p q) sel`
+    /// where `sel` selects one of its two arguments, without disturbing
+    /// redexes inside `p` or `q`.
+    fn select_reduce(outer: &TermRef) -> Result<Theorem> {
+        let step1 = Theorem::beta(outer)?;
+        let (_, spq) = step1.dest_eq()?;
+        let (sp, qq) = spq.dest_comb()?;
+        let bth = Theorem::beta(sp)?;
+        let lifted = Theorem::ap_thm(&bth, qq)?;
+        let (_, rb) = lifted.dest_eq()?;
+        let step3 = Theorem::beta(&rb)?;
+        Theorem::trans_chain(&[step1, lifted, step3])
+    }
+
+    fn conjunct(&self, th: &Theorem, first: bool) -> Result<Theorem> {
+        let (p, q) = dest_conj(th.concl())?;
+        let def_applied = apply_def(&self.and_def, &[Rc::clone(&p), Rc::clone(&q)])?;
+        let th1 = Theorem::eq_mp(&def_applied, th)?;
+        let a = Var::new("a", Type::bool());
+        let b = Var::new("b", Type::bool());
+        let sel = if first {
+            mk_abs(&a, &mk_abs(&b, &a.term()))
+        } else {
+            mk_abs(&a, &mk_abs(&b, &b.term()))
+        };
+        let th2 = Theorem::ap_thm(&th1, &sel)?;
+        let (lhs_t, rhs_t) = th2.dest_eq()?;
+        let th_l = Self::select_reduce(&lhs_t)?;
+        let th_r = Self::select_reduce(&rhs_t)?;
+        let combined = Theorem::trans_chain(&[th_l.sym()?, th2, th_r])?;
+        self.eqt_elim(&combined)
+    }
+
+    /// `CONJUNCT1`: from `Γ ⊢ p /\ q`, derive `Γ ⊢ p`.
+    pub fn conjunct1(&self, th: &Theorem) -> Result<Theorem> {
+        self.conjunct(th, true)
+    }
+
+    /// `CONJUNCT2`: from `Γ ⊢ p /\ q`, derive `Γ ⊢ q`.
+    pub fn conjunct2(&self, th: &Theorem) -> Result<Theorem> {
+        self.conjunct(th, false)
+    }
+
+    /// `MP` (modus ponens): from `Γ ⊢ p ==> q` and `Δ ⊢ p`, derive
+    /// `Γ ∪ Δ ⊢ q`.
+    pub fn mp(&self, th_imp: &Theorem, th_p: &Theorem) -> Result<Theorem> {
+        let (p, q) = dest_imp(th_imp.concl())?;
+        if !p.aconv(th_p.concl()) {
+            return Err(LogicError::side_condition(
+                "MP",
+                format!("antecedent {p} does not match {}", th_p.concl()),
+            ));
+        }
+        let def_applied = apply_def(&self.imp_def, &[p, q])?;
+        let th1 = Theorem::eq_mp(&def_applied, th_imp)?;
+        let th2 = Theorem::eq_mp(&th1.sym()?, th_p)?;
+        self.conjunct2(&th2)
+    }
+
+    /// `DISCH`: from `Γ ⊢ q`, derive `Γ \ {a} ⊢ a ==> q`.
+    pub fn disch(&self, a: &TermRef, th: &Theorem) -> Result<Theorem> {
+        let q = Rc::clone(th.concl());
+        let th1 = self.conj(&Theorem::assume(a)?, th)?;
+        let th2 = self.conjunct1(&Theorem::assume(&mk_conj(a, &q)?)?)?;
+        let th3 = Theorem::deduct_antisym(&th1, &th2)?;
+        let def_applied = apply_def(&self.imp_def, &[Rc::clone(a), q])?;
+        Theorem::eq_mp(&def_applied.sym()?, &th3)
+    }
+
+    /// Iterated `DISCH` over a list of antecedents (the first element
+    /// becomes the outermost implication).
+    pub fn disch_list(&self, antecedents: &[TermRef], th: &Theorem) -> Result<Theorem> {
+        let mut acc = th.clone();
+        for a in antecedents.iter().rev() {
+            acc = self.disch(a, &acc)?;
+        }
+        Ok(acc)
+    }
+
+    /// `UNDISCH`: from `Γ ⊢ p ==> q`, derive `Γ ∪ {p} ⊢ q`.
+    pub fn undisch(&self, th: &Theorem) -> Result<Theorem> {
+        let (p, _) = dest_imp(th.concl())?;
+        self.mp(th, &Theorem::assume(&p)?)
+    }
+
+    /// `GEN`: from `Γ ⊢ p` with `x` not free in `Γ`, derive `Γ ⊢ !x. p`.
+    pub fn gen(&self, x: &Var, th: &Theorem) -> Result<Theorem> {
+        let th1 = self.eqt_intro(th)?;
+        let th2 = Theorem::abs(x, &th1)?;
+        let tysub = single("a", x.ty.clone());
+        let forall_def = self.forall_def.inst_type(&tysub);
+        let abs = mk_abs(x, th.concl());
+        let def_applied = apply_def(&forall_def, &[abs])?;
+        Theorem::eq_mp(&def_applied.sym()?, &th2)
+    }
+
+    /// Iterated `GEN`: quantifies the variables in order (the first becomes
+    /// the outermost quantifier).
+    pub fn gen_list(&self, vars: &[Var], th: &Theorem) -> Result<Theorem> {
+        let mut acc = th.clone();
+        for v in vars.iter().rev() {
+            acc = self.gen(v, &acc)?;
+        }
+        Ok(acc)
+    }
+
+    /// `SPEC`: from `Γ ⊢ !x. p`, derive `Γ ⊢ p[t/x]`.
+    pub fn spec(&self, t: &TermRef, th: &Theorem) -> Result<Theorem> {
+        let (_q, abs) = th
+            .concl()
+            .dest_comb()
+            .map_err(|_| LogicError::ill_formed("SPEC", format!("not a !: {}", th.concl())))?;
+        if !th.concl().head_is_const("!") {
+            return Err(LogicError::ill_formed(
+                "SPEC",
+                format!("not a universal quantification: {}", th.concl()),
+            ));
+        }
+        let tysub = single("a", t.ty()?);
+        let forall_def = self.forall_def.inst_type(&tysub);
+        let def_applied = apply_def(&forall_def, &[Rc::clone(abs)])?;
+        let th1 = Theorem::eq_mp(&def_applied, th)?;
+        let th2 = Theorem::ap_thm(&th1, t)?;
+        let (lhs_t, rhs_t) = th2.dest_eq()?;
+        let th_l = Theorem::beta(&lhs_t)?;
+        let th_r = Theorem::beta(&rhs_t)?;
+        let combined = Theorem::trans_chain(&[th_l.sym()?, th2, th_r])?;
+        self.eqt_elim(&combined)
+    }
+
+    /// Iterated `SPEC`.
+    pub fn spec_list(&self, ts: &[TermRef], th: &Theorem) -> Result<Theorem> {
+        let mut acc = th.clone();
+        for t in ts {
+            acc = self.spec(t, &acc)?;
+        }
+        Ok(acc)
+    }
+
+    /// `PROVE_HYP`: from `Γ ⊢ p` and `Δ ⊢ q`, derive `Γ ∪ (Δ \ {p}) ⊢ q`.
+    pub fn prove_hyp(&self, th_p: &Theorem, th_q: &Theorem) -> Result<Theorem> {
+        if th_q.hyps().iter().any(|h| h.aconv(th_p.concl())) {
+            let eq = Theorem::deduct_antisym(th_p, th_q)?;
+            Theorem::eq_mp(&eq, th_p)
+        } else {
+            Ok(th_q.clone())
+        }
+    }
+
+    /// Proves `⊢ t = t'` and transports a theorem across it, then spine
+    /// beta-reduces the conclusion. Small convenience used by client crates.
+    pub fn beta_rule(&self, th: &Theorem) -> Result<Theorem> {
+        let conv = beta_spine_thm(th.concl())?;
+        Theorem::eq_mp(&conv, th)
+    }
+}
+
+fn single(name: &str, ty: Type) -> TypeSubst {
+    let mut s = TypeSubst::new();
+    s.insert(name.to_string(), ty);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{mk_eq, mk_var};
+
+    fn setup() -> (Theory, BoolTheory) {
+        let mut thy = Theory::new();
+        let b = BoolTheory::install(&mut thy).expect("boolean theory installs");
+        (thy, b)
+    }
+
+    #[test]
+    fn truth_theorem() {
+        let (_, b) = setup();
+        assert_eq!(b.truth().concl().to_string(), "T");
+        assert!(b.truth().is_closed());
+    }
+
+    #[test]
+    fn eqt_intro_elim_roundtrip() {
+        let (_, b) = setup();
+        let p = mk_var("p", Type::bool());
+        let th = Theorem::assume(&p).unwrap();
+        let eq = b.eqt_intro(&th).unwrap();
+        assert_eq!(eq.concl().to_string(), "p = T");
+        let back = b.eqt_elim(&eq).unwrap();
+        assert!(back.concl().aconv(&p));
+    }
+
+    #[test]
+    fn conj_and_conjuncts_roundtrip() {
+        let (_, b) = setup();
+        let p = mk_var("p", Type::bool());
+        let q = mk_var("q", Type::bool());
+        let th_p = Theorem::assume(&p).unwrap();
+        let th_q = Theorem::assume(&q).unwrap();
+        let both = b.conj(&th_p, &th_q).unwrap();
+        assert_eq!(both.concl().to_string(), "/\\ p q");
+        let c1 = b.conjunct1(&both).unwrap();
+        let c2 = b.conjunct2(&both).unwrap();
+        assert!(c1.concl().aconv(&p));
+        assert!(c2.concl().aconv(&q));
+        assert_eq!(both.hyps().len(), 2);
+    }
+
+    #[test]
+    fn conj_preserves_redexes_inside_propositions() {
+        // The conjuncts contain beta redexes that must survive the round
+        // trip exactly (the retiming-theorem derivation depends on this).
+        let (_, b) = setup();
+        let x = Var::new("x", Type::bool());
+        let p = mk_var("p", Type::bool());
+        let redex = mk_comb(&mk_abs(&x, &x.term()), &p).unwrap(); // (\x. x) p
+        let q = mk_var("q", Type::bool());
+        let th1 = Theorem::assume(&redex).unwrap();
+        let th2 = Theorem::assume(&q).unwrap();
+        let both = b.conj(&th1, &th2).unwrap();
+        let c1 = b.conjunct1(&both).unwrap();
+        assert!(
+            c1.concl().aconv(&redex),
+            "conjunct must be returned unreduced, got {}",
+            c1.concl()
+        );
+    }
+
+    #[test]
+    fn modus_ponens() {
+        let (_, b) = setup();
+        let p = mk_var("p", Type::bool());
+        let q = mk_var("q", Type::bool());
+        let imp = mk_imp(&p, &q).unwrap();
+        let th_imp = Theorem::assume(&imp).unwrap();
+        let th_p = Theorem::assume(&p).unwrap();
+        let th_q = b.mp(&th_imp, &th_p).unwrap();
+        assert!(th_q.concl().aconv(&q));
+        assert_eq!(th_q.hyps().len(), 2);
+
+        let r = mk_var("r", Type::bool());
+        let th_r = Theorem::assume(&r).unwrap();
+        assert!(b.mp(&th_imp, &th_r).is_err());
+    }
+
+    #[test]
+    fn disch_and_undisch() {
+        let (_, b) = setup();
+        let p = mk_var("p", Type::bool());
+        let q = mk_var("q", Type::bool());
+        // {p, q} ⊢ q, discharge p: {q} ⊢ p ==> q
+        let th_q = Theorem::assume(&q).unwrap();
+        let imp = b.disch(&p, &th_q).unwrap();
+        assert_eq!(imp.concl().to_string(), "==> p q");
+        assert_eq!(imp.hyps().len(), 1);
+        // Undischarging brings the antecedent back.
+        let back = b.undisch(&imp).unwrap();
+        assert!(back.concl().aconv(&q));
+        assert_eq!(back.hyps().len(), 2);
+    }
+
+    #[test]
+    fn disch_actually_removes_hypothesis() {
+        let (_, b) = setup();
+        let p = mk_var("p", Type::bool());
+        let th_p = Theorem::assume(&p).unwrap();
+        let imp = b.disch(&p, &th_p).unwrap();
+        assert!(imp.is_closed(), "p ==> p should be closed, got {imp}");
+        assert_eq!(imp.concl().to_string(), "==> p p");
+    }
+
+    #[test]
+    fn gen_and_spec_roundtrip() {
+        let (_, b) = setup();
+        let x = Var::new("x", Type::bv(4));
+        let c = mk_const("c", Type::fun(Type::bv(4), Type::bool()));
+        let cx = mk_comb(&c, &x.term()).unwrap();
+        // ⊢ c x = c x, generalise over x, then specialise to y.
+        let th = Theorem::refl(&cx).unwrap();
+        let gen = b.gen(&x, &th).unwrap();
+        assert!(gen.concl().head_is_const("!"));
+        let y = mk_var("y", Type::bv(4));
+        let spec = b.spec(&y, &gen).unwrap();
+        let cy = mk_comb(&c, &y).unwrap();
+        assert!(spec.concl().aconv(&mk_eq(&cy, &cy).unwrap()));
+    }
+
+    #[test]
+    fn gen_rejects_variable_free_in_hypotheses() {
+        let (_, b) = setup();
+        let x = Var::new("x", Type::bool());
+        let th = Theorem::assume(&x.term()).unwrap();
+        assert!(b.gen(&x, &th).is_err());
+    }
+
+    #[test]
+    fn spec_list_instantiates_nested_quantifiers() {
+        let (_, b) = setup();
+        let x = Var::new("x", Type::bool());
+        let y = Var::new("y", Type::bool());
+        let body = mk_eq(&x.term(), &y.term()).unwrap();
+        // {x = y} ⊢ x = y  cannot be generalised (free in hyps), so build a
+        // closed theorem instead: ⊢ x = x then generalise x.
+        let th = Theorem::refl(&x.term()).unwrap();
+        let gen = b.gen_list(&[x.clone()], &th).unwrap();
+        let p = mk_var("p", Type::bool());
+        let spec = b.spec_list(&[p.clone()], &gen).unwrap();
+        assert!(spec.concl().aconv(&mk_eq(&p, &p).unwrap()));
+        drop(body);
+        drop(y);
+    }
+
+    #[test]
+    fn prove_hyp_discharges_matching_hypothesis() {
+        let (_, b) = setup();
+        let p = mk_var("p", Type::bool());
+        let q = mk_var("q", Type::bool());
+        let th_q = Theorem::assume(&q).unwrap();
+        // {p} ⊢ p proves the hypothesis p of {p, q} ⊢ ... here we use {q} ⊢ q
+        // and prove q from {p} ⊢ p? Simpler: prove q's hypothesis with itself.
+        let th_p = Theorem::assume(&p).unwrap();
+        let combined = b.conj(&th_p, &th_q).unwrap(); // {p, q} ⊢ p /\ q
+        let result = b.prove_hyp(&th_q, &combined).unwrap();
+        assert_eq!(result.hyps().len(), 2, "q ⊢ q cannot remove its own hyp");
+        // A theorem without the hypothesis is returned unchanged.
+        let unrelated = Theorem::refl(&p).unwrap();
+        let same = b.prove_hyp(&th_q, &unrelated).unwrap();
+        assert_eq!(same, unrelated);
+    }
+
+    #[test]
+    fn forall_definition_shape() {
+        let (thy, b) = setup();
+        assert!(thy.has_constant("!"));
+        assert!(thy.has_constant("/\\"));
+        assert!(thy.has_constant("==>"));
+        assert!(thy.has_constant("~"));
+        assert!(thy.has_constant("\\/"));
+        assert!(thy.has_constant("?"));
+        assert_eq!(thy.axioms().len(), 0, "bool theory is purely definitional");
+        assert!(b.forall_def.concl().is_eq());
+        assert_eq!(thy.definitions().len(), 8);
+    }
+
+    #[test]
+    fn exists_and_disj_terms_build() {
+        let (_, _b) = setup();
+        let x = Var::new("x", Type::bv(2));
+        let c = mk_const("c", Type::fun(Type::bv(2), Type::bool()));
+        let cx = mk_comb(&c, &x.term()).unwrap();
+        let ex = mk_exists(&x, &cx).unwrap();
+        assert!(ex.head_is_const("?"));
+        let p = mk_var("p", Type::bool());
+        let q = mk_var("q", Type::bool());
+        let d = mk_disj(&p, &q).unwrap();
+        assert!(d.head_is_const("\\/"));
+        let n = mk_neg(&p).unwrap();
+        assert!(n.head_is_const("~"));
+        assert!(mk_forall(&x, &x.term()).is_err());
+    }
+
+    #[test]
+    fn conj_list_and_disch_list() {
+        let (_, b) = setup();
+        let ps: Vec<TermRef> = (0..3).map(|i| mk_var(format!("p{i}"), Type::bool())).collect();
+        let thms: Vec<Theorem> = ps.iter().map(|p| Theorem::assume(p).unwrap()).collect();
+        let all = b.conj_list(&thms).unwrap();
+        assert_eq!(all.hyps().len(), 3);
+        let discharged = b.disch_list(&ps, &all).unwrap();
+        assert!(discharged.is_closed());
+    }
+}

@@ -1,0 +1,571 @@
+//! Conversions: theorem-producing term transformations.
+//!
+//! A *conversion* maps a term `t` to a theorem `⊢ t = t'`. Because the
+//! result is a kernel theorem, a conversion can never silently change the
+//! meaning of a term — exactly the discipline the paper's formal synthesis
+//! steps rely on when they "join `f` and `g` to a single combinational
+//! part" (beta conversion) or "determine the new initial values via
+//! evaluation" (computation rules).
+//!
+//! The module provides the conversions needed by the synthesis procedures:
+//!
+//! * [`beta_norm_thm`] — full beta normalisation,
+//! * [`beta_spine_thm`] — head-spine beta reduction (used by the derived
+//!   logical rules, which must not disturb redexes inside propositions),
+//! * [`apply_def`] — unfolding a definitional equation applied to arguments,
+//! * [`rewr_conv`] — a single rewrite with an equational theorem,
+//! * [`Rewriter`] — rewriting to a normal form with a set of equations,
+//!   beta reduction and optionally the computation rules of a theory.
+
+use crate::error::{LogicError, Result};
+use crate::term::{mk_comb, Term, TermRef, Var};
+use crate::theory::Theory;
+use crate::thm::Theorem;
+use std::rc::Rc;
+
+/// Full beta normalisation as a theorem: `⊢ t = nf(t)`.
+///
+/// # Errors
+///
+/// Propagates kernel errors (cannot happen for well-typed input).
+pub fn beta_norm_thm(t: &TermRef) -> Result<Theorem> {
+    match t.as_ref() {
+        Term::Var(_) | Term::Const(_) => Theorem::refl(t),
+        Term::Abs(v, body) => {
+            let th = beta_norm_thm(body)?;
+            Theorem::abs(v, &th)
+        }
+        Term::Comb(f, x) => {
+            let thf = beta_norm_thm(f)?;
+            let thx = beta_norm_thm(x)?;
+            let th = Theorem::mk_comb(&thf, &thx)?;
+            let (_, rhs) = th.dest_eq()?;
+            if is_redex(&rhs) {
+                let bth = Theorem::beta(&rhs)?;
+                let (_, reduced) = bth.dest_eq()?;
+                let rest = beta_norm_thm(&reduced)?;
+                Theorem::trans_chain(&[th, bth, rest])
+            } else {
+                Ok(th)
+            }
+        }
+    }
+}
+
+/// Head-spine beta reduction as a theorem: reduces only the redexes on the
+/// application spine of `t`, leaving argument sub-terms untouched.
+///
+/// # Errors
+///
+/// Propagates kernel errors (cannot happen for well-typed input).
+pub fn beta_spine_thm(t: &TermRef) -> Result<Theorem> {
+    match t.as_ref() {
+        Term::Comb(f, x) => {
+            let thf = beta_spine_thm(f)?;
+            let th = Theorem::ap_thm(&thf, x)?;
+            let (_, rhs) = th.dest_eq()?;
+            if is_redex(&rhs) {
+                let bth = Theorem::beta(&rhs)?;
+                let (_, reduced) = bth.dest_eq()?;
+                let rest = beta_spine_thm(&reduced)?;
+                Theorem::trans_chain(&[th, bth, rest])
+            } else {
+                Ok(th)
+            }
+        }
+        _ => Theorem::refl(t),
+    }
+}
+
+/// Whether a term is a beta redex `(\x. b) a`.
+pub fn is_redex(t: &TermRef) -> bool {
+    matches!(t.as_ref(), Term::Comb(f, _) if matches!(f.as_ref(), Term::Abs(..)))
+}
+
+/// Unfolds a definitional equation applied to arguments:
+/// from `⊢ c = \x1 ... xn. body` and arguments `a1 ... an`, derives
+/// `⊢ c a1 ... an = body[a1/x1, ..., an/xn]`.
+///
+/// Only the definition's own leading lambdas are reduced; redexes inside the
+/// arguments are preserved.
+///
+/// # Errors
+///
+/// Fails if the definition does not have enough leading lambdas or an
+/// argument has the wrong type.
+pub fn apply_def(def: &Theorem, args: &[TermRef]) -> Result<Theorem> {
+    let mut th = def.clone();
+    for arg in args {
+        let th_app = Theorem::ap_thm(&th, arg)?;
+        let (_, rhs) = th_app.dest_eq()?;
+        let bth = Theorem::beta(&rhs).map_err(|_| {
+            LogicError::ill_formed(
+                "apply_def",
+                format!("definition body is not an abstraction when applied to {arg}"),
+            )
+        })?;
+        th = Theorem::trans(&th_app, &bth)?;
+    }
+    Ok(th)
+}
+
+/// A single rewrite at the root of `t` with the (closed, equational)
+/// theorem `eq`, instantiating the free term variables and type variables
+/// of the left-hand side by matching.
+///
+/// # Errors
+///
+/// Fails if the left-hand side does not match `t`.
+pub fn rewr_conv(eq: &Theorem, t: &TermRef) -> Result<Theorem> {
+    let (lhs, _) = eq.dest_eq()?;
+    let matching = crate::term::term_match(&lhs, t)?;
+    let inst_ty = eq.inst_type(&matching.type_subst);
+    let subst: crate::term::TermSubst = matching
+        .term_subst
+        .iter()
+        .map(|(v, s)| {
+            (
+                Var::new(v.name.clone(), v.ty.subst(&matching.type_subst)),
+                Rc::clone(s),
+            )
+        })
+        .collect();
+    let instantiated = inst_ty.inst(&subst)?;
+    let (new_lhs, _) = instantiated.dest_eq()?;
+    if new_lhs.aconv(t) {
+        if *new_lhs == **t {
+            Ok(instantiated)
+        } else {
+            // Adjust for alpha differences.
+            Theorem::trans(&Theorem::alpha(t, &new_lhs)?, &instantiated)
+        }
+    } else {
+        Err(LogicError::match_failure(format!(
+            "instantiated left-hand side {new_lhs} does not equal target {t}"
+        )))
+    }
+}
+
+/// A rewriting engine: repeatedly rewrites a term bottom-up with a set of
+/// equational theorems, beta reduction and (optionally) the computation
+/// rules of a theory, until a fixed point is reached.
+#[derive(Clone)]
+pub struct Rewriter {
+    eqs: Vec<Theorem>,
+    max_passes: usize,
+    use_beta: bool,
+}
+
+impl Default for Rewriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Rewriter {
+    /// Creates an empty rewriter (beta reduction enabled, 200-pass limit).
+    pub fn new() -> Rewriter {
+        Rewriter {
+            eqs: Vec::new(),
+            max_passes: 200,
+            use_beta: true,
+        }
+    }
+
+    /// Disables beta reduction.
+    pub fn without_beta(mut self) -> Rewriter {
+        self.use_beta = false;
+        self
+    }
+
+    /// Sets the maximum number of bottom-up passes.
+    pub fn with_max_passes(mut self, passes: usize) -> Rewriter {
+        self.max_passes = passes;
+        self
+    }
+
+    /// Adds a rewrite equation. The theorem must be closed (no hypotheses)
+    /// and equational, and its left-hand side must not be a bare variable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the theorem does not satisfy those conditions.
+    pub fn add_eq(&mut self, eq: &Theorem) -> Result<()> {
+        if !eq.is_closed() {
+            return Err(LogicError::ill_formed(
+                "Rewriter::add_eq",
+                format!("rewrite equation has hypotheses: {eq}"),
+            ));
+        }
+        let (lhs, _) = eq.dest_eq()?;
+        if matches!(lhs.as_ref(), Term::Var(_)) {
+            return Err(LogicError::ill_formed(
+                "Rewriter::add_eq",
+                "left-hand side of a rewrite must not be a bare variable".to_string(),
+            ));
+        }
+        self.eqs.push(eq.clone());
+        Ok(())
+    }
+
+    /// Adds several rewrite equations.
+    pub fn add_eqs(&mut self, eqs: &[Theorem]) -> Result<()> {
+        for eq in eqs {
+            self.add_eq(eq)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites `t` to a normal form, returning `⊢ t = nf`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the rewrite system does not reach a fixed point within the
+    /// pass limit.
+    pub fn rewrite(&self, t: &TermRef) -> Result<Theorem> {
+        self.rewrite_with(None, t)
+    }
+
+    /// Rewrites `t` using, in addition, the computation rules of `theory`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the rewrite system does not reach a fixed point within the
+    /// pass limit.
+    pub fn rewrite_with(&self, theory: Option<&Theory>, t: &TermRef) -> Result<Theorem> {
+        let mut acc = Theorem::refl(t)?;
+        let mut current = Rc::clone(t);
+        for _ in 0..self.max_passes {
+            let (th, changed) = self.pass(theory, &current)?;
+            if !changed {
+                return Ok(acc);
+            }
+            let (_, new_term) = th.dest_eq()?;
+            acc = Theorem::trans(&acc, &th)?;
+            current = new_term;
+        }
+        Err(LogicError::conversion(
+            "Rewriter::rewrite",
+            format!("no fixed point within {} passes", self.max_passes),
+        ))
+    }
+
+    /// Rewrites the conclusion of a theorem: from `Γ ⊢ p` derive `Γ ⊢ p'`
+    /// where `p'` is the rewritten conclusion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rewriting failures.
+    pub fn rewrite_rule(&self, theory: Option<&Theory>, th: &Theorem) -> Result<Theorem> {
+        let conv = self.rewrite_with(theory, th.concl())?;
+        Theorem::eq_mp(&conv, th)
+    }
+
+    /// One bottom-up pass; returns `⊢ t = t'` and whether anything changed.
+    fn pass(&self, theory: Option<&Theory>, t: &TermRef) -> Result<(Theorem, bool)> {
+        let (th_sub, changed_sub) = match t.as_ref() {
+            Term::Var(_) | Term::Const(_) => (Theorem::refl(t)?, false),
+            Term::Abs(v, body) => {
+                let (bt, ch) = self.pass(theory, body)?;
+                (Theorem::abs(v, &bt)?, ch)
+            }
+            Term::Comb(f, x) => {
+                let (ft, c1) = self.pass(theory, f)?;
+                let (xt, c2) = self.pass(theory, x)?;
+                (Theorem::mk_comb(&ft, &xt)?, c1 || c2)
+            }
+        };
+        let (_, mid) = th_sub.dest_eq()?;
+        if let Some(root) = self.root_rewrite(theory, &mid)? {
+            let th = Theorem::trans(&th_sub, &root)?;
+            Ok((th, true))
+        } else {
+            Ok((th_sub, changed_sub))
+        }
+    }
+
+    /// Attempts a single rewrite at the root of `t`.
+    fn root_rewrite(&self, theory: Option<&Theory>, t: &TermRef) -> Result<Option<Theorem>> {
+        if self.use_beta && is_redex(t) {
+            return Ok(Some(Theorem::beta(t)?));
+        }
+        for eq in &self.eqs {
+            if let Ok(th) = rewr_conv(eq, t) {
+                let (lhs, rhs) = th.dest_eq()?;
+                // Refuse rewrites that do not change the term, to guarantee
+                // termination of the outer loop.
+                if !lhs.aconv(&rhs) {
+                    return Ok(Some(th));
+                }
+            }
+        }
+        if let Some(thy) = theory {
+            if let Some(th) = thy.apply_any_delta(t) {
+                let (lhs, rhs) = th.dest_eq()?;
+                if !lhs.aconv(&rhs) {
+                    return Ok(Some(th));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Rewrites the right-hand side of an equational theorem: from `Γ ⊢ a = b`
+/// and a conversion result `⊢ b = b'`, produce `Γ ⊢ a = b'`.
+///
+/// # Errors
+///
+/// Fails if `th` is not equational.
+pub fn convert_rhs(th: &Theorem, conv_result: &Theorem) -> Result<Theorem> {
+    Theorem::trans(th, conv_result)
+}
+
+/// Builds the term `f a1 ... an` and immediately beta-normalises the spine,
+/// returning both the applied term and the theorem `⊢ f a1 ... an = result`.
+///
+/// # Errors
+///
+/// Fails on type mismatches.
+pub fn apply_and_reduce(f: &TermRef, args: &[TermRef]) -> Result<(TermRef, Theorem)> {
+    let mut t = Rc::clone(f);
+    for a in args {
+        t = mk_comb(&t, a)?;
+    }
+    let th = beta_spine_thm(&t)?;
+    Ok((t, th))
+}
+
+/// Instantiates both type and term variables of a theorem in one step.
+///
+/// # Errors
+///
+/// Fails if a term instantiation is ill-typed.
+pub fn inst_theorem(
+    th: &Theorem,
+    type_subst: &crate::types::TypeSubst,
+    term_subst: &crate::term::TermSubst,
+) -> Result<Theorem> {
+    let th_ty = th.inst_type(type_subst);
+    // The variables being instantiated must be given at their
+    // type-instantiated types.
+    let adjusted: crate::term::TermSubst = term_subst
+        .iter()
+        .map(|(v, t)| {
+            (
+                Var::new(v.name.clone(), v.ty.subst(type_subst)),
+                Rc::clone(t),
+            )
+        })
+        .collect();
+    th_ty.inst(&adjusted)
+}
+
+/// Convenience: the instantiation of a single type variable.
+pub fn single_type_subst(name: &str, ty: crate::types::Type) -> crate::types::TypeSubst {
+    let mut s = crate::types::TypeSubst::new();
+    s.insert(name.to_string(), ty);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{list_mk_comb, mk_abs, mk_eq, mk_var};
+    use crate::types::Type;
+
+    fn b() -> Type {
+        Type::bool()
+    }
+
+    #[test]
+    fn beta_norm_reduces_nested_redexes() {
+        // (\f. f y) (\x. x)  =  y
+        let x = Var::new("x", b());
+        let fvar = Var::new("f", Type::fun(b(), b()));
+        let y = mk_var("y", b());
+        let id = mk_abs(&x, &x.term());
+        let body = mk_comb(&fvar.term(), &y).unwrap();
+        let outer = mk_comb(&mk_abs(&fvar, &body), &id).unwrap();
+        let th = beta_norm_thm(&outer).unwrap();
+        let (l, r) = th.dest_eq().unwrap();
+        assert!(l.aconv(&outer));
+        assert!(r.aconv(&y));
+        assert!(th.is_closed());
+    }
+
+    #[test]
+    fn beta_spine_leaves_arguments_alone() {
+        // c ((\z. z) p)  has a constant head, so spine reduction keeps the
+        // argument redex intact, while full normalisation reduces it.
+        let z = Var::new("z", b());
+        let p = mk_var("p", b());
+        let c = crate::term::mk_const("c", Type::fun(b(), b()));
+        let inner = mk_comb(&mk_abs(&z, &z.term()), &p).unwrap();
+        let t = mk_comb(&c, &inner).unwrap();
+        let th = beta_spine_thm(&t).unwrap();
+        let (_, r) = th.dest_eq().unwrap();
+        assert!(r.aconv(&t), "spine reduction must keep the argument redex");
+
+        let full = beta_norm_thm(&t).unwrap();
+        let (_, rf) = full.dest_eq().unwrap();
+        assert!(
+            rf.aconv(&mk_comb(&c, &p).unwrap()),
+            "full normalisation reduces everything"
+        );
+
+        // ((\a b. a) p) q spine-reduces all the way to p.
+        let a = Var::new("a", b());
+        let bv = Var::new("bvar", b());
+        let q = mk_var("q", b());
+        let sel = mk_abs(&a, &mk_abs(&bv, &a.term()));
+        let spine = list_mk_comb(&sel, &[p.clone(), q]).unwrap();
+        let th2 = beta_spine_thm(&spine).unwrap();
+        let (_, r2) = th2.dest_eq().unwrap();
+        assert!(r2.aconv(&p));
+    }
+
+    #[test]
+    fn apply_def_unfolds_definitions() {
+        let mut thy = Theory::new();
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        // SWAPEQ = \x y. y = x
+        let body = mk_abs(&x, &mk_abs(&y, &mk_eq(&y.term(), &x.term()).unwrap()));
+        let def = thy.new_definition("SWAPEQ_DEF", "SWAPEQ", &body).unwrap();
+        let p = mk_var("p", b());
+        let q = mk_var("q", b());
+        let th = apply_def(&def, &[p.clone(), q.clone()]).unwrap();
+        let (lhs, rhs) = th.dest_eq().unwrap();
+        assert_eq!(lhs.to_string(), "SWAPEQ p q");
+        assert!(rhs.aconv(&mk_eq(&q, &p).unwrap()));
+        // Too many arguments fails cleanly.
+        assert!(apply_def(&def, &[p.clone(), q.clone(), p.clone()]).is_err());
+    }
+
+    #[test]
+    fn rewr_conv_instantiates_pattern() {
+        let mut thy = Theory::new();
+        thy.declare_constant(
+            "fst",
+            Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("a")),
+        )
+        .unwrap();
+        thy.declare_constant(
+            "pair",
+            Type::fun(
+                Type::var("a"),
+                Type::fun(Type::var("b"), Type::prod(Type::var("a"), Type::var("b"))),
+            ),
+        )
+        .unwrap();
+        let a = Var::new("a", Type::var("a"));
+        let bv = Var::new("b", Type::var("b"));
+        let pair = thy
+            .const_with("pair", &crate::types::TypeSubst::new())
+            .unwrap();
+        let fst = thy
+            .const_with("fst", &crate::types::TypeSubst::new())
+            .unwrap();
+        let lhs = mk_comb(
+            &fst,
+            &list_mk_comb(&pair, &[a.term(), bv.term()]).unwrap(),
+        )
+        .unwrap();
+        let ax = thy
+            .new_axiom("FST_PAIR", &mk_eq(&lhs, &a.term()).unwrap())
+            .unwrap();
+
+        // Concrete instance: fst (pair p n) with p:bool, n:bv4.
+        let p = mk_var("p", b());
+        let n = mk_var("n", Type::bv(4));
+        let pair_i = thy
+            .const_at(
+                "pair",
+                Type::fun(b(), Type::fun(Type::bv(4), Type::prod(b(), Type::bv(4)))),
+            )
+            .unwrap();
+        let fst_i = thy
+            .const_at("fst", Type::fun(Type::prod(b(), Type::bv(4)), b()))
+            .unwrap();
+        let target = mk_comb(&fst_i, &list_mk_comb(&pair_i, &[p.clone(), n]).unwrap()).unwrap();
+        let th = rewr_conv(&ax, &target).unwrap();
+        let (l, r) = th.dest_eq().unwrap();
+        assert!(l.aconv(&target));
+        assert!(r.aconv(&p));
+
+        // A non-matching term fails.
+        assert!(rewr_conv(&ax, &p).is_err());
+    }
+
+    #[test]
+    fn rewriter_reaches_fixed_point() {
+        let mut thy = Theory::new();
+        thy.declare_constant("nn", Type::fun(b(), b())).unwrap();
+        let nn = thy.const_at("nn", Type::fun(b(), b())).unwrap();
+        let p = Var::new("p", b());
+        // axiom: nn (nn p) = p  (double application collapses)
+        let lhs = mk_comb(&nn, &mk_comb(&nn, &p.term()).unwrap()).unwrap();
+        let ax = thy
+            .new_axiom("NN_NN", &mk_eq(&lhs, &p.term()).unwrap())
+            .unwrap();
+        let mut rw = Rewriter::new();
+        rw.add_eq(&ax).unwrap();
+
+        // nn(nn(nn(nn(q)))) rewrites to q.
+        let q = mk_var("q", b());
+        let mut t = q.clone();
+        for _ in 0..4 {
+            t = mk_comb(&nn, &t).unwrap();
+        }
+        let th = rw.rewrite(&t).unwrap();
+        let (_, r) = th.dest_eq().unwrap();
+        assert!(r.aconv(&q));
+    }
+
+    #[test]
+    fn rewriter_rejects_open_equations() {
+        let p = mk_var("p", b());
+        let hyp_eq = Theorem::assume(&mk_eq(&p, &p).unwrap()).unwrap();
+        let mut rw = Rewriter::new();
+        assert!(rw.add_eq(&hyp_eq).is_err());
+    }
+
+    #[test]
+    fn rewriter_uses_delta_rules() {
+        let mut thy = Theory::new();
+        thy.declare_constant("zero", Type::bv(4)).unwrap();
+        thy.declare_constant("inc", Type::fun(Type::bv(4), Type::bv(4)))
+            .unwrap();
+        thy.declare_constant("one", Type::bv(4)).unwrap();
+        let inc = thy.const_at("inc", Type::fun(Type::bv(4), Type::bv(4))).unwrap();
+        let zero = thy.const_at("zero", Type::bv(4)).unwrap();
+        let one = thy.const_at("one", Type::bv(4)).unwrap();
+        let one_for_delta = Rc::clone(&one);
+        thy.new_delta_rule("inc_zero", move |t| {
+            if t.to_string() == "inc zero" {
+                Some(Rc::clone(&one_for_delta))
+            } else {
+                None
+            }
+        })
+        .unwrap();
+        let target = mk_comb(&inc, &zero).unwrap();
+        let rw = Rewriter::new();
+        let th = rw.rewrite_with(Some(&thy), &target).unwrap();
+        let (_, r) = th.dest_eq().unwrap();
+        assert!(r.aconv(&one));
+    }
+
+    #[test]
+    fn inst_theorem_combines_type_and_term_instantiation() {
+        let a = Type::var("a");
+        let x = Var::new("x", a.clone());
+        let th = Theorem::refl(&x.term()).unwrap();
+        let tysub = single_type_subst("a", Type::bv(8));
+        let val = mk_var("v", Type::bv(8));
+        let inst = inst_theorem(&th, &tysub, &vec![(x, val.clone())]).unwrap();
+        let (l, _) = inst.dest_eq().unwrap();
+        assert!(l.aconv(&val));
+    }
+}

@@ -1,0 +1,181 @@
+//! Error type for the logic kernel.
+//!
+//! Every fallible kernel operation returns [`LogicError`]. The kernel never
+//! panics on malformed input: producing a wrong theorem must be impossible,
+//! and producing *no* theorem (an error) is always the safe failure mode —
+//! exactly the behaviour the paper relies on when a faulty synthesis
+//! heuristic proposes an impossible transformation.
+
+use std::fmt;
+
+/// Errors raised by term construction, primitive inference rules and
+/// derived rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A combination `f x` was attempted where `f` does not have a function
+    /// type or the argument type does not match the domain.
+    TypeMismatch {
+        /// Human readable description of the context.
+        context: String,
+        /// The expected type (rendered).
+        expected: String,
+        /// The type actually found (rendered).
+        found: String,
+    },
+    /// A term did not have the syntactic shape required by a rule
+    /// (e.g. `TRANS` applied to a non-equation).
+    IllFormed {
+        /// The rule or constructor that failed.
+        rule: &'static str,
+        /// Description of what was expected.
+        message: String,
+    },
+    /// A side condition of an inference rule was violated
+    /// (e.g. the abstracted variable of `ABS` occurs free in a hypothesis).
+    SideCondition {
+        /// The rule whose side condition failed.
+        rule: &'static str,
+        /// Description of the violated condition.
+        message: String,
+    },
+    /// Term matching failed (used by rewriting and by the retiming
+    /// instantiation step when a cut does not fit the universal pattern).
+    MatchFailure {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A conversion was not applicable to the given term.
+    ConversionFailed {
+        /// The conversion name.
+        conv: &'static str,
+        /// Description of the failure.
+        message: String,
+    },
+    /// A theory-level operation failed (duplicate constant, unknown
+    /// constant, non-closed definition body, ...).
+    Theory {
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl LogicError {
+    /// Convenience constructor for [`LogicError::IllFormed`].
+    pub fn ill_formed(rule: &'static str, message: impl Into<String>) -> Self {
+        LogicError::IllFormed {
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`LogicError::SideCondition`].
+    pub fn side_condition(rule: &'static str, message: impl Into<String>) -> Self {
+        LogicError::SideCondition {
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`LogicError::MatchFailure`].
+    pub fn match_failure(message: impl Into<String>) -> Self {
+        LogicError::MatchFailure {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`LogicError::ConversionFailed`].
+    pub fn conversion(conv: &'static str, message: impl Into<String>) -> Self {
+        LogicError::ConversionFailed {
+            conv,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`LogicError::Theory`].
+    pub fn theory(message: impl Into<String>) -> Self {
+        LogicError::Theory {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`LogicError::TypeMismatch`].
+    pub fn type_mismatch(
+        context: impl Into<String>,
+        expected: impl Into<String>,
+        found: impl Into<String>,
+    ) -> Self {
+        LogicError::TypeMismatch {
+            context: context.into(),
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
+            LogicError::IllFormed { rule, message } => {
+                write!(f, "ill-formed argument to {rule}: {message}")
+            }
+            LogicError::SideCondition { rule, message } => {
+                write!(f, "side condition of {rule} violated: {message}")
+            }
+            LogicError::MatchFailure { message } => write!(f, "match failure: {message}"),
+            LogicError::ConversionFailed { conv, message } => {
+                write!(f, "conversion {conv} failed: {message}")
+            }
+            LogicError::Theory { message } => write!(f, "theory error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// Result alias used throughout the kernel.
+pub type Result<T> = std::result::Result<T, LogicError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_rule_name() {
+        let e = LogicError::ill_formed("TRANS", "not an equation");
+        assert!(e.to_string().contains("TRANS"));
+        assert!(e.to_string().contains("not an equation"));
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = LogicError::type_mismatch("mk_comb", "bool", "num");
+        let s = e.to_string();
+        assert!(s.contains("bool") && s.contains("num") && s.contains("mk_comb"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogicError>();
+    }
+
+    #[test]
+    fn error_equality() {
+        assert_eq!(
+            LogicError::match_failure("x"),
+            LogicError::match_failure("x")
+        );
+        assert_ne!(
+            LogicError::match_failure("x"),
+            LogicError::match_failure("y")
+        );
+    }
+}

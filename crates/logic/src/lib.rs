@@ -1,0 +1,88 @@
+//! # hash-logic
+//!
+//! An LCF-style higher-order-logic kernel, reproducing the trusted core the
+//! DATE'97 paper *"A Constructive Approach towards Correctness of Synthesis —
+//! Application within Retiming"* (Eisenbiegler, Kumar, Blumenröhr) builds its
+//! HASH formal-synthesis system on.
+//!
+//! The crate provides:
+//!
+//! * [`types`] / [`term`] — the simply-typed lambda-calculus term language,
+//! * [`thm`] — the sealed [`Theorem`](thm::Theorem) type and the ~10
+//!   primitive inference rules (the *only* way to create theorems),
+//! * [`theory`] — constant signatures, recorded axioms, conservative
+//!   definitions and trusted computation ("delta") rules,
+//! * [`conv`] — theorem-producing conversions (beta normalisation,
+//!   rewriting),
+//! * [`bool`] — the logical connectives by definition and the derived rules
+//!   (`CONJ`, `MP`, `DISCH`, `GEN`, `SPEC`, ...),
+//! * [`pair`] — products and projections used to bundle circuit signals.
+//!
+//! ## Why this matters for the paper
+//!
+//! The paper's central claim is that *formal synthesis* — performing a
+//! synthesis step such as retiming as a logical derivation — is implicitly
+//! correct: "whenever it produces a result this result is also correct",
+//! because the result is a theorem and theorems can only be produced by the
+//! small trusted core. This crate is that core. Everything built on top
+//! (the Automata theory, the retiming transformation, the compound
+//! synthesis steps in `hash-core`) produces `Theorem` values and therefore
+//! inherits its soundness from this crate alone.
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_logic::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), LogicError> {
+//! let mut theory = Theory::new();
+//! let booleans = BoolTheory::install(&mut theory)?;
+//!
+//! // ⊢ p ==> p, derived from the primitive rules.
+//! let p = mk_var("p", Type::bool());
+//! let th = booleans.disch(&p, &Theorem::assume(&p)?)?;
+//! assert!(th.is_closed());
+//! assert_eq!(th.concl().to_string(), "==> p p");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bool;
+pub mod conv;
+pub mod error;
+pub mod pair;
+pub mod term;
+pub mod theory;
+pub mod thm;
+pub mod types;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::bool::{
+        dest_conj, dest_forall, dest_imp, list_mk_conj, list_mk_forall, mk_conj, mk_exists,
+        mk_forall, mk_imp, mk_neg, BoolTheory,
+    };
+    pub use crate::conv::{
+        apply_def, beta_norm_thm, beta_spine_thm, inst_theorem, rewr_conv, Rewriter,
+    };
+    pub use crate::error::{LogicError, Result};
+    pub use crate::pair::{
+        dest_pair, mk_fst, mk_pair, mk_snd, mk_tuple, strip_tuple, tuple_project, PairTheory,
+    };
+    pub use crate::term::{
+        list_mk_abs, list_mk_comb, mk_abs, mk_comb, mk_const, mk_eq, mk_var, term_match,
+        vsubst, Term, TermRef, TermSubst, Var,
+    };
+    pub use crate::theory::Theory;
+    pub use crate::thm::Theorem;
+    pub use crate::types::{Type, TypeSubst};
+}
+
+pub use error::{LogicError, Result};
+pub use term::{Term, TermRef, Var};
+pub use theory::Theory;
+pub use thm::Theorem;
+pub use types::Type;

@@ -1,0 +1,338 @@
+//! The pair theory: products, projections and their characteristic
+//! equations.
+//!
+//! The Automata theory of the paper represents the combinational part of a
+//! circuit as a single function from *(input, state)* to *(output,
+//! next-state)*; multiple input wires, registers or outputs are bundled
+//! into right-nested pairs. In the HOL system pairs are defined and their
+//! characteristic equations proved; here they are introduced as recorded
+//! axioms of the pair theory (see DESIGN.md for the substitution argument),
+//! keeping the same auditable trust structure.
+
+use crate::error::{LogicError, Result};
+use crate::term::{list_mk_comb, mk_comb, mk_eq, Term, TermRef, Var};
+use crate::theory::Theory;
+use crate::thm::Theorem;
+use crate::types::{Type, TypeSubst};
+use std::rc::Rc;
+
+/// The pair theory: constants `pair`, `fst`, `snd` and their characteristic
+/// equations.
+#[derive(Clone, Debug)]
+pub struct PairTheory {
+    /// `⊢ fst (pair a b) = a`
+    pub fst_pair: Theorem,
+    /// `⊢ snd (pair a b) = b`
+    pub snd_pair: Theorem,
+    /// `⊢ pair (fst p) (snd p) = p`
+    pub pair_eta: Theorem,
+}
+
+fn generic_pair_ty() -> Type {
+    Type::fun(
+        Type::var("a"),
+        Type::fun(Type::var("b"), Type::prod(Type::var("a"), Type::var("b"))),
+    )
+}
+
+fn generic_fst_ty() -> Type {
+    Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("a"))
+}
+
+fn generic_snd_ty() -> Type {
+    Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("b"))
+}
+
+/// Builds the pairing constant at the given component types.
+pub fn pair_const(a: &Type, b: &Type) -> TermRef {
+    crate::term::mk_const(
+        "pair",
+        Type::fun(
+            a.clone(),
+            Type::fun(b.clone(), Type::prod(a.clone(), b.clone())),
+        ),
+    )
+}
+
+/// Builds the first-projection constant at the given component types.
+pub fn fst_const(a: &Type, b: &Type) -> TermRef {
+    crate::term::mk_const(
+        "fst",
+        Type::fun(Type::prod(a.clone(), b.clone()), a.clone()),
+    )
+}
+
+/// Builds the second-projection constant at the given component types.
+pub fn snd_const(a: &Type, b: &Type) -> TermRef {
+    crate::term::mk_const(
+        "snd",
+        Type::fun(Type::prod(a.clone(), b.clone()), b.clone()),
+    )
+}
+
+/// Builds the pair `(a, b)`.
+///
+/// # Errors
+///
+/// Fails only on internal type errors (cannot happen for well-typed input).
+pub fn mk_pair(a: &TermRef, b: &TermRef) -> Result<TermRef> {
+    let c = pair_const(&a.ty()?, &b.ty()?);
+    list_mk_comb(&c, &[Rc::clone(a), Rc::clone(b)])
+}
+
+/// Builds the right-nested tuple `(t1, (t2, (..., tn)))`. A single element
+/// is returned unchanged; the empty tuple is the constant `one_value`.
+///
+/// # Errors
+///
+/// Propagates type errors.
+pub fn mk_tuple(ts: &[TermRef]) -> Result<TermRef> {
+    match ts.split_first() {
+        None => Ok(crate::term::mk_const("one_value", Type::one())),
+        Some((head, rest)) => {
+            if rest.is_empty() {
+                Ok(Rc::clone(head))
+            } else {
+                let tail = mk_tuple(rest)?;
+                mk_pair(head, &tail)
+            }
+        }
+    }
+}
+
+/// Builds `fst p`.
+///
+/// # Errors
+///
+/// Fails if `p` does not have a product type.
+pub fn mk_fst(p: &TermRef) -> Result<TermRef> {
+    let ty = p.ty()?;
+    let (a, b) = ty.dest_prod()?;
+    mk_comb(&fst_const(a, b), p)
+}
+
+/// Builds `snd p`.
+///
+/// # Errors
+///
+/// Fails if `p` does not have a product type.
+pub fn mk_snd(p: &TermRef) -> Result<TermRef> {
+    let ty = p.ty()?;
+    let (a, b) = ty.dest_prod()?;
+    mk_comb(&snd_const(a, b), p)
+}
+
+/// The i-th component of a right-nested tuple term of the given arity,
+/// built from projections.
+///
+/// # Errors
+///
+/// Fails if the index is out of range for the tuple type.
+pub fn tuple_project(t: &TermRef, index: usize, arity: usize) -> Result<TermRef> {
+    if arity == 0 {
+        return Err(LogicError::ill_formed(
+            "tuple_project",
+            "cannot project from the empty tuple".to_string(),
+        ));
+    }
+    if index >= arity {
+        return Err(LogicError::ill_formed(
+            "tuple_project",
+            format!("index {index} out of range for arity {arity}"),
+        ));
+    }
+    if arity == 1 {
+        return Ok(Rc::clone(t));
+    }
+    if index == 0 {
+        mk_fst(t)
+    } else {
+        let rest = mk_snd(t)?;
+        tuple_project(&rest, index - 1, arity - 1)
+    }
+}
+
+/// Destructs a syntactic pair `pair a b` into `(a, b)`.
+///
+/// # Errors
+///
+/// Fails if the term is not an application of `pair` to two arguments.
+pub fn dest_pair(t: &Term) -> Result<(TermRef, TermRef)> {
+    if let Term::Comb(fl, b) = t {
+        if let Term::Comb(p, a) = fl.as_ref() {
+            if let Term::Const(c) = p.as_ref() {
+                if c.name == "pair" {
+                    return Ok((Rc::clone(a), Rc::clone(b)));
+                }
+            }
+        }
+    }
+    Err(LogicError::ill_formed(
+        "dest_pair",
+        format!("not a pair: {t}"),
+    ))
+}
+
+/// Flattens a right-nested syntactic tuple into its components.
+pub fn strip_tuple(t: &TermRef) -> Vec<TermRef> {
+    match dest_pair(t) {
+        Ok((a, b)) => {
+            let mut out = vec![a];
+            out.extend(strip_tuple(&b));
+            out
+        }
+        Err(_) => vec![Rc::clone(t)],
+    }
+}
+
+impl PairTheory {
+    /// Installs the pair theory into the given [`Theory`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the constants are already declared differently.
+    pub fn install(theory: &mut Theory) -> Result<PairTheory> {
+        theory.declare_constant("pair", generic_pair_ty())?;
+        theory.declare_constant("fst", generic_fst_ty())?;
+        theory.declare_constant("snd", generic_snd_ty())?;
+        theory.declare_constant("one_value", Type::one())?;
+
+        let a = Var::new("a", Type::var("a"));
+        let b = Var::new("b", Type::var("b"));
+        let pair_ab = mk_pair(&a.term(), &b.term())?;
+
+        let fst_pair = theory.new_axiom("FST_PAIR", &mk_eq(&mk_fst(&pair_ab)?, &a.term())?)?;
+        let snd_pair = theory.new_axiom("SND_PAIR", &mk_eq(&mk_snd(&pair_ab)?, &b.term())?)?;
+
+        let p = Var::new("p", Type::prod(Type::var("a"), Type::var("b")));
+        let rebuilt = mk_pair(&mk_fst(&p.term())?, &mk_snd(&p.term())?)?;
+        let pair_eta = theory.new_axiom("PAIR_ETA", &mk_eq(&rebuilt, &p.term())?)?;
+
+        Ok(PairTheory {
+            fst_pair,
+            snd_pair,
+            pair_eta,
+        })
+    }
+
+    /// The characteristic projection equations, ready to be handed to a
+    /// [`crate::conv::Rewriter`].
+    pub fn projection_eqs(&self) -> Vec<Theorem> {
+        vec![self.fst_pair.clone(), self.snd_pair.clone()]
+    }
+
+    /// `⊢ fst (pair a b) = a` instantiated at the given component types.
+    pub fn fst_pair_at(&self, a: &Type, b: &Type) -> Theorem {
+        self.fst_pair.inst_type(&two("a", a, "b", b))
+    }
+
+    /// `⊢ snd (pair a b) = b` instantiated at the given component types.
+    pub fn snd_pair_at(&self, a: &Type, b: &Type) -> Theorem {
+        self.snd_pair.inst_type(&two("a", a, "b", b))
+    }
+}
+
+fn two(n1: &str, t1: &Type, n2: &str, t2: &Type) -> TypeSubst {
+    let mut s = TypeSubst::new();
+    s.insert(n1.to_string(), t1.clone());
+    s.insert(n2.to_string(), t2.clone());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Rewriter;
+    use crate::term::mk_var;
+
+    fn setup() -> (Theory, PairTheory) {
+        let mut thy = Theory::new();
+        let p = PairTheory::install(&mut thy).expect("pair theory installs");
+        (thy, p)
+    }
+
+    #[test]
+    fn pair_construction_and_destruction() {
+        let (_, _p) = setup();
+        let x = mk_var("x", Type::bv(4));
+        let y = mk_var("y", Type::bool());
+        let pr = mk_pair(&x, &y).unwrap();
+        assert_eq!(pr.ty().unwrap(), Type::prod(Type::bv(4), Type::bool()));
+        let (a, b) = dest_pair(&pr).unwrap();
+        assert!(a.aconv(&x));
+        assert!(b.aconv(&y));
+        assert!(dest_pair(&x).is_err());
+    }
+
+    #[test]
+    fn tuples_nest_to_the_right() {
+        let xs: Vec<TermRef> = (0..3).map(|i| mk_var(format!("x{i}"), Type::bv(2))).collect();
+        let t = mk_tuple(&xs).unwrap();
+        assert_eq!(
+            t.ty().unwrap(),
+            Type::prod(Type::bv(2), Type::prod(Type::bv(2), Type::bv(2)))
+        );
+        let parts = strip_tuple(&t);
+        assert_eq!(parts.len(), 3);
+        assert!(parts[2].aconv(&xs[2]));
+
+        // Singleton and empty tuples.
+        let single = mk_tuple(&xs[..1]).unwrap();
+        assert!(single.aconv(&xs[0]));
+        let empty = mk_tuple(&[]).unwrap();
+        assert_eq!(empty.ty().unwrap(), Type::one());
+    }
+
+    #[test]
+    fn projections_rewrite_with_the_axioms() {
+        let (_, p) = setup();
+        let x = mk_var("x", Type::bv(4));
+        let y = mk_var("y", Type::bool());
+        let pr = mk_pair(&x, &y).unwrap();
+        let fst_term = mk_fst(&pr).unwrap();
+        let snd_term = mk_snd(&pr).unwrap();
+
+        let mut rw = Rewriter::new();
+        rw.add_eqs(&p.projection_eqs()).unwrap();
+        let th1 = rw.rewrite(&fst_term).unwrap();
+        let (_, r1) = th1.dest_eq().unwrap();
+        assert!(r1.aconv(&x));
+        let th2 = rw.rewrite(&snd_term).unwrap();
+        let (_, r2) = th2.dest_eq().unwrap();
+        assert!(r2.aconv(&y));
+    }
+
+    #[test]
+    fn tuple_projection_indices() {
+        let xs: Vec<TermRef> = (0..4)
+            .map(|i| mk_var(format!("x{i}"), Type::bv(8)))
+            .collect();
+        let t = mk_tuple(&xs).unwrap();
+        let (_, pt) = setup();
+        let mut rw = Rewriter::new();
+        rw.add_eqs(&pt.projection_eqs()).unwrap();
+        for (i, x) in xs.iter().enumerate() {
+            let proj = tuple_project(&t, i, xs.len()).unwrap();
+            let th = rw.rewrite(&proj).unwrap();
+            let (_, r) = th.dest_eq().unwrap();
+            assert!(r.aconv(x), "projection {i} should recover x{i}");
+        }
+        assert!(tuple_project(&t, 4, 4).is_err());
+        assert!(tuple_project(&t, 0, 0).is_err());
+    }
+
+    #[test]
+    fn fst_pair_at_instantiates_types() {
+        let (_, p) = setup();
+        let inst = p.fst_pair_at(&Type::bv(8), &Type::bool());
+        let (lhs, _) = inst.dest_eq().unwrap();
+        assert_eq!(lhs.ty().unwrap(), Type::bv(8));
+    }
+
+    #[test]
+    fn axioms_are_recorded() {
+        let (thy, _) = setup();
+        let names: Vec<&str> = thy.axioms().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["FST_PAIR", "SND_PAIR", "PAIR_ETA"]);
+    }
+}

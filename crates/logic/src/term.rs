@@ -1,0 +1,923 @@
+//! Terms of the higher-order logic.
+//!
+//! Terms follow the classic four-constructor presentation used by the HOL
+//! family of provers: variables, constants, applications ("combinations")
+//! and lambda abstractions. Terms are immutable and shared through
+//! reference counting, so copying sub-terms is cheap — the property the
+//! paper relies on when it argues that composing two synthesis theorems by
+//! transitivity has constant cost ("pointers — no copying").
+//!
+//! All term constructors perform type checking; it is impossible to build
+//! an ill-typed application. This is the mechanism by which the paper's
+//! "false cut" (Fig. 4) is rejected: the equation between the original and
+//! the wrongly split combinational block is not even expressible.
+
+use crate::error::{LogicError, Result};
+use crate::types::{Type, TypeSubst};
+use std::fmt;
+use std::rc::Rc;
+
+/// A shared, immutable term.
+pub type TermRef = Rc<Term>;
+
+/// A term variable: a name together with its type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Var {
+    /// The variable name.
+    pub name: String,
+    /// The variable's type.
+    pub ty: Type,
+}
+
+impl Var {
+    /// Creates a new variable.
+    pub fn new(name: impl Into<String>, ty: Type) -> Var {
+        Var {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// The variable as a term.
+    pub fn term(&self) -> TermRef {
+        Rc::new(Term::Var(self.clone()))
+    }
+}
+
+/// A constant occurrence: a name together with the type *at this
+/// occurrence* (constants may be polymorphic, so different occurrences may
+/// carry different instances of the generic type).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConstRef {
+    /// The constant name.
+    pub name: String,
+    /// The type of this occurrence.
+    pub ty: Type,
+}
+
+/// A higher-order-logic term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant occurrence.
+    Const(ConstRef),
+    /// An application `f x`.
+    Comb(TermRef, TermRef),
+    /// A lambda abstraction `\x. body`.
+    Abs(Var, TermRef),
+}
+
+/// A substitution mapping term variables to terms.
+pub type TermSubst = Vec<(Var, TermRef)>;
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+/// Builds a variable term.
+pub fn mk_var(name: impl Into<String>, ty: Type) -> TermRef {
+    Rc::new(Term::Var(Var::new(name, ty)))
+}
+
+/// Builds a constant term with the given occurrence type.
+pub fn mk_const(name: impl Into<String>, ty: Type) -> TermRef {
+    Rc::new(Term::Const(ConstRef {
+        name: name.into(),
+        ty,
+    }))
+}
+
+/// Builds a type-checked application `f x`.
+///
+/// # Errors
+///
+/// Fails if `f` does not have a function type or its domain does not equal
+/// the type of `x`.
+pub fn mk_comb(f: &TermRef, x: &TermRef) -> Result<TermRef> {
+    let fty = f.ty()?;
+    let (dom, _) = fty.dest_fun().map_err(|_| {
+        LogicError::type_mismatch(format!("mk_comb of {f}"), "a function type", fty.to_string())
+    })?;
+    let xty = x.ty()?;
+    if *dom != xty {
+        return Err(LogicError::type_mismatch(
+            format!("mk_comb applying {f} to {x}"),
+            dom.to_string(),
+            xty.to_string(),
+        ));
+    }
+    Ok(Rc::new(Term::Comb(Rc::clone(f), Rc::clone(x))))
+}
+
+/// Builds an iterated application `f x1 x2 ... xn`.
+pub fn list_mk_comb(f: &TermRef, args: &[TermRef]) -> Result<TermRef> {
+    let mut acc = Rc::clone(f);
+    for a in args {
+        acc = mk_comb(&acc, a)?;
+    }
+    Ok(acc)
+}
+
+/// Builds an abstraction `\v. body`.
+pub fn mk_abs(v: &Var, body: &TermRef) -> TermRef {
+    Rc::new(Term::Abs(v.clone(), Rc::clone(body)))
+}
+
+/// Builds an iterated abstraction `\v1 v2 ... vn. body`.
+pub fn list_mk_abs(vars: &[Var], body: &TermRef) -> TermRef {
+    let mut acc = Rc::clone(body);
+    for v in vars.iter().rev() {
+        acc = mk_abs(v, &acc);
+    }
+    acc
+}
+
+/// The polymorphic equality constant at element type `ty`.
+pub fn eq_const(ty: &Type) -> TermRef {
+    mk_const(
+        "=",
+        Type::fun(ty.clone(), Type::fun(ty.clone(), Type::bool())),
+    )
+}
+
+/// Builds the equation `lhs = rhs`.
+///
+/// # Errors
+///
+/// Fails if the two sides have different types.
+pub fn mk_eq(lhs: &TermRef, rhs: &TermRef) -> Result<TermRef> {
+    let lty = lhs.ty()?;
+    let rty = rhs.ty()?;
+    if lty != rty {
+        return Err(LogicError::type_mismatch(
+            format!("mk_eq of {lhs} and {rhs}"),
+            lty.to_string(),
+            rty.to_string(),
+        ));
+    }
+    let eq = eq_const(&lty);
+    mk_comb(&mk_comb(&eq, lhs)?, rhs)
+}
+
+// ---------------------------------------------------------------------------
+// Destructors and syntactic predicates
+// ---------------------------------------------------------------------------
+
+impl Term {
+    /// Computes the type of the term.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an application whose operator is not of function type
+    /// (cannot happen for terms built through the checked constructors).
+    pub fn ty(&self) -> Result<Type> {
+        match self {
+            Term::Var(v) => Ok(v.ty.clone()),
+            Term::Const(c) => Ok(c.ty.clone()),
+            Term::Comb(f, _) => {
+                let fty = f.ty()?;
+                let (_, cod) = fty.dest_fun()?;
+                Ok(cod.clone())
+            }
+            Term::Abs(v, body) => Ok(Type::fun(v.ty.clone(), body.ty()?)),
+        }
+    }
+
+    /// Destructs an application into `(operator, operand)`.
+    pub fn dest_comb(&self) -> Result<(&TermRef, &TermRef)> {
+        match self {
+            Term::Comb(f, x) => Ok((f, x)),
+            other => Err(LogicError::ill_formed(
+                "dest_comb",
+                format!("not an application: {other}"),
+            )),
+        }
+    }
+
+    /// Destructs an abstraction into `(bound variable, body)`.
+    pub fn dest_abs(&self) -> Result<(&Var, &TermRef)> {
+        match self {
+            Term::Abs(v, body) => Ok((v, body)),
+            other => Err(LogicError::ill_formed(
+                "dest_abs",
+                format!("not an abstraction: {other}"),
+            )),
+        }
+    }
+
+    /// Destructs a variable.
+    pub fn dest_var(&self) -> Result<&Var> {
+        match self {
+            Term::Var(v) => Ok(v),
+            other => Err(LogicError::ill_formed(
+                "dest_var",
+                format!("not a variable: {other}"),
+            )),
+        }
+    }
+
+    /// Destructs a constant occurrence.
+    pub fn dest_const(&self) -> Result<&ConstRef> {
+        match self {
+            Term::Const(c) => Ok(c),
+            other => Err(LogicError::ill_formed(
+                "dest_const",
+                format!("not a constant: {other}"),
+            )),
+        }
+    }
+
+    /// Destructs an equation `l = r` into `(l, r)`.
+    pub fn dest_eq(&self) -> Result<(&TermRef, &TermRef)> {
+        if let Term::Comb(fl, r) = self {
+            if let Term::Comb(eq, l) = fl.as_ref() {
+                if let Term::Const(c) = eq.as_ref() {
+                    if c.name == "=" {
+                        return Ok((l, r));
+                    }
+                }
+            }
+        }
+        Err(LogicError::ill_formed(
+            "dest_eq",
+            format!("not an equation: {self}"),
+        ))
+    }
+
+    /// Whether the term is an equation.
+    pub fn is_eq(&self) -> bool {
+        self.dest_eq().is_ok()
+    }
+
+    /// Whether the term is a (possibly applied) occurrence of the named
+    /// constant, i.e. the head of the application spine is that constant.
+    pub fn head_is_const(&self, name: &str) -> bool {
+        match self.strip_comb().0.as_ref() {
+            Term::Const(c) => c.name == name,
+            _ => false,
+        }
+    }
+
+    /// Splits an application spine `f x1 ... xn` into `(f, [x1, ..., xn])`.
+    pub fn strip_comb(&self) -> (TermRef, Vec<TermRef>) {
+        let mut args = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            match cur {
+                Term::Comb(f, x) => {
+                    args.push(x);
+                    cur = f.as_ref().clone();
+                }
+                other => {
+                    args.reverse();
+                    return (Rc::new(other), args);
+                }
+            }
+        }
+    }
+
+    /// Collects the free variables of the term in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut acc = Vec::new();
+        self.collect_free_vars(&mut Vec::new(), &mut acc);
+        acc
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<Var>, acc: &mut Vec<Var>) {
+        match self {
+            Term::Var(v) => {
+                if !bound.contains(v) && !acc.contains(v) {
+                    acc.push(v.clone());
+                }
+            }
+            Term::Const(_) => {}
+            Term::Comb(f, x) => {
+                f.collect_free_vars(bound, acc);
+                x.collect_free_vars(bound, acc);
+            }
+            Term::Abs(v, body) => {
+                bound.push(v.clone());
+                body.collect_free_vars(bound, acc);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Whether the given variable occurs free in the term.
+    pub fn occurs_free(&self, v: &Var) -> bool {
+        match self {
+            Term::Var(w) => w == v,
+            Term::Const(_) => false,
+            Term::Comb(f, x) => f.occurs_free(v) || x.occurs_free(v),
+            Term::Abs(w, body) => w != v && body.occurs_free(v),
+        }
+    }
+
+    /// Collects the names of all constants occurring in the term.
+    pub fn constants(&self) -> Vec<String> {
+        let mut acc = Vec::new();
+        self.collect_constants(&mut acc);
+        acc
+    }
+
+    fn collect_constants(&self, acc: &mut Vec<String>) {
+        match self {
+            Term::Var(_) => {}
+            Term::Const(c) => {
+                if !acc.iter().any(|n| n == &c.name) {
+                    acc.push(c.name.clone());
+                }
+            }
+            Term::Comb(f, x) => {
+                f.collect_constants(acc);
+                x.collect_constants(acc);
+            }
+            Term::Abs(_, body) => body.collect_constants(acc),
+        }
+    }
+
+    /// All type variables occurring in the term.
+    pub fn type_vars(&self) -> Vec<String> {
+        let mut acc = Vec::new();
+        self.collect_type_vars(&mut acc);
+        acc
+    }
+
+    fn collect_type_vars(&self, acc: &mut Vec<String>) {
+        let push_all = |ty: &Type, acc: &mut Vec<String>| {
+            for v in ty.type_vars() {
+                if !acc.contains(&v) {
+                    acc.push(v);
+                }
+            }
+        };
+        match self {
+            Term::Var(v) => push_all(&v.ty, acc),
+            Term::Const(c) => push_all(&c.ty, acc),
+            Term::Comb(f, x) => {
+                f.collect_type_vars(acc);
+                x.collect_type_vars(acc);
+            }
+            Term::Abs(v, body) => {
+                push_all(&v.ty, acc);
+                body.collect_type_vars(acc);
+            }
+        }
+    }
+
+    /// The number of constructors in the term (a rough size measure used by
+    /// the experiments).
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::Comb(f, x) => 1 + f.size() + x.size(),
+            Term::Abs(_, body) => 1 + body.size(),
+        }
+    }
+
+    /// Alpha-equivalence of terms.
+    pub fn aconv(&self, other: &Term) -> bool {
+        fn go(a: &Term, b: &Term, env: &mut Vec<(Var, Var)>) -> bool {
+            match (a, b) {
+                (Term::Var(v), Term::Var(w)) => {
+                    for (x, y) in env.iter().rev() {
+                        if x == v || y == w {
+                            return x == v && y == w;
+                        }
+                    }
+                    v == w
+                }
+                (Term::Const(c), Term::Const(d)) => c == d,
+                (Term::Comb(f1, x1), Term::Comb(f2, x2)) => {
+                    go(f1, f2, env) && go(x1, x2, env)
+                }
+                (Term::Abs(v, b1), Term::Abs(w, b2)) => {
+                    if v.ty != w.ty {
+                        return false;
+                    }
+                    env.push((v.clone(), w.clone()));
+                    let r = go(b1, b2, env);
+                    env.pop();
+                    r
+                }
+                _ => false,
+            }
+        }
+        go(self, other, &mut Vec::new())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Substitution
+// ---------------------------------------------------------------------------
+
+/// Returns a variant of `v` whose name does not clash with any variable in
+/// `avoid`.
+pub fn variant(avoid: &[Var], v: &Var) -> Var {
+    let mut name = v.name.clone();
+    while avoid.iter().any(|w| w.name == name) {
+        name.push('\'');
+    }
+    Var::new(name, v.ty.clone())
+}
+
+/// Capture-avoiding parallel substitution of terms for free variables.
+///
+/// Pairs whose variable does not occur free are simply ignored. Bound
+/// variables are renamed when a replacement term would otherwise capture
+/// them.
+pub fn vsubst(theta: &TermSubst, t: &TermRef) -> TermRef {
+    if theta.is_empty() {
+        return Rc::clone(t);
+    }
+    match t.as_ref() {
+        Term::Var(v) => theta
+            .iter()
+            .find(|(w, _)| w == v)
+            .map(|(_, s)| Rc::clone(s))
+            .unwrap_or_else(|| Rc::clone(t)),
+        Term::Const(_) => Rc::clone(t),
+        Term::Comb(f, x) => {
+            let f2 = vsubst(theta, f);
+            let x2 = vsubst(theta, x);
+            if Rc::ptr_eq(&f2, f) && Rc::ptr_eq(&x2, x) {
+                Rc::clone(t)
+            } else {
+                Rc::new(Term::Comb(f2, x2))
+            }
+        }
+        Term::Abs(v, body) => {
+            // Remove bindings for the bound variable itself.
+            let filtered: TermSubst = theta
+                .iter()
+                .filter(|(w, _)| w != v)
+                .cloned()
+                .collect();
+            if filtered.is_empty() {
+                return Rc::clone(t);
+            }
+            // Only keep bindings whose variable actually occurs free in the body.
+            let relevant: TermSubst = filtered
+                .into_iter()
+                .filter(|(w, _)| body.occurs_free(w))
+                .collect();
+            if relevant.is_empty() {
+                return Rc::clone(t);
+            }
+            // Would the bound variable be captured by one of the replacements?
+            let capture = relevant.iter().any(|(_, s)| s.occurs_free(v));
+            if capture {
+                let mut avoid: Vec<Var> = body.free_vars();
+                for (_, s) in &relevant {
+                    avoid.extend(s.free_vars());
+                }
+                let fresh = variant(&avoid, v);
+                let renamed_body = vsubst(&vec![(v.clone(), fresh.term())], body);
+                let new_body = vsubst(&relevant, &renamed_body);
+                Rc::new(Term::Abs(fresh, new_body))
+            } else {
+                let new_body = vsubst(&relevant, body);
+                Rc::new(Term::Abs(v.clone(), new_body))
+            }
+        }
+    }
+}
+
+/// Applies a type substitution to every type annotation in the term,
+/// renaming bound variables when the instantiation would cause capture.
+pub fn inst_type(theta: &TypeSubst, t: &TermRef) -> TermRef {
+    if theta.is_empty() {
+        return Rc::clone(t);
+    }
+    fn go(theta: &TypeSubst, t: &TermRef) -> TermRef {
+        match t.as_ref() {
+            Term::Var(v) => mk_var(v.name.clone(), v.ty.subst(theta)),
+            Term::Const(c) => mk_const(c.name.clone(), c.ty.subst(theta)),
+            Term::Comb(f, x) => Rc::new(Term::Comb(go(theta, f), go(theta, x))),
+            Term::Abs(v, body) => {
+                let new_var = Var::new(v.name.clone(), v.ty.subst(theta));
+                let new_body = go(theta, body);
+                // Detect capture: a distinct free variable of the original body
+                // could collide with the instantiated bound variable.
+                let clash = body.free_vars().into_iter().any(|w| {
+                    w != *v && w.name == new_var.name && w.ty.subst(theta) == new_var.ty
+                });
+                if clash {
+                    let avoid: Vec<Var> = new_body.free_vars();
+                    let fresh = variant(&avoid, &new_var);
+                    let renamed =
+                        vsubst(&vec![(new_var.clone(), fresh.term())], &new_body);
+                    Rc::new(Term::Abs(fresh, renamed))
+                } else {
+                    Rc::new(Term::Abs(new_var, new_body))
+                }
+            }
+        }
+    }
+    go(theta, t)
+}
+
+/// One step of beta reduction at the root: `(\x. b) a  ~>  b[a/x]`.
+///
+/// # Errors
+///
+/// Fails if the term is not a beta redex.
+pub fn beta_reduce(t: &TermRef) -> Result<TermRef> {
+    let (f, a) = t.dest_comb()?;
+    let (v, body) = f.dest_abs()?;
+    Ok(vsubst(&vec![(v.clone(), Rc::clone(a))], body))
+}
+
+/// Exhaustive beta normalisation (call-by-name, normal order). Terminates on
+/// the simply-typed terms used throughout this crate.
+pub fn beta_normalize(t: &TermRef) -> TermRef {
+    match t.as_ref() {
+        Term::Var(_) | Term::Const(_) => Rc::clone(t),
+        Term::Abs(v, body) => Rc::new(Term::Abs(v.clone(), beta_normalize(body))),
+        Term::Comb(f, x) => {
+            let f_n = beta_normalize(f);
+            let x_n = beta_normalize(x);
+            if let Term::Abs(v, body) = f_n.as_ref() {
+                let reduced = vsubst(&vec![(v.clone(), Rc::clone(&x_n))], body);
+                beta_normalize(&reduced)
+            } else {
+                Rc::new(Term::Comb(f_n, x_n))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// First-order term matching (used by rewriting and theorem instantiation)
+// ---------------------------------------------------------------------------
+
+/// The result of matching a pattern against a term: instantiations for term
+/// variables and type variables of the pattern.
+#[derive(Clone, Debug, Default)]
+pub struct Matching {
+    /// Instantiations for the pattern's free term variables.
+    pub term_subst: TermSubst,
+    /// Instantiations for the pattern's type variables.
+    pub type_subst: TypeSubst,
+}
+
+/// First-order matching of `pattern` against `term`.
+///
+/// Free variables of the pattern may be instantiated; bound variables must
+/// correspond one-to-one. Type variables of the pattern are instantiated as
+/// needed. This is sufficient for the rewriting performed by the synthesis
+/// procedures (the higher-order instantiation of the retiming theorem is
+/// constructed explicitly rather than found by matching).
+///
+/// # Errors
+///
+/// Fails with [`LogicError::MatchFailure`] if no instantiation exists within
+/// the first-order fragment.
+pub fn term_match(pattern: &TermRef, term: &TermRef) -> Result<Matching> {
+    let mut m = Matching::default();
+    let mut bound: Vec<(Var, Var)> = Vec::new();
+    match_rec(pattern, term, &mut bound, &mut m)?;
+    Ok(m)
+}
+
+fn match_rec(
+    pattern: &TermRef,
+    term: &TermRef,
+    bound: &mut Vec<(Var, Var)>,
+    m: &mut Matching,
+) -> Result<()> {
+    match (pattern.as_ref(), term.as_ref()) {
+        (Term::Var(pv), _) => {
+            // A pattern variable that is bound must map to the corresponding
+            // bound variable of the term.
+            if let Some((_, tv)) = bound.iter().rev().find(|(p, _)| p == pv) {
+                return match term.as_ref() {
+                    Term::Var(w) if w == tv => Ok(()),
+                    _ => Err(LogicError::match_failure(format!(
+                        "bound variable {} does not correspond",
+                        pv.name
+                    ))),
+                };
+            }
+            // The replacement must not mention the term-side bound variables.
+            for (_, tv) in bound.iter() {
+                if term.occurs_free(tv) {
+                    return Err(LogicError::match_failure(format!(
+                        "replacement for {} would capture bound variable {}",
+                        pv.name, tv.name
+                    )));
+                }
+            }
+            pv.ty.match_against(&term.ty()?, &mut m.type_subst)?;
+            if let Some((_, existing)) = m.term_subst.iter().find(|(w, _)| w == pv) {
+                if existing.aconv(term) {
+                    Ok(())
+                } else {
+                    Err(LogicError::match_failure(format!(
+                        "variable {} matched against two different terms",
+                        pv.name
+                    )))
+                }
+            } else {
+                m.term_subst.push((pv.clone(), Rc::clone(term)));
+                Ok(())
+            }
+        }
+        (Term::Const(pc), Term::Const(tc)) => {
+            if pc.name != tc.name {
+                return Err(LogicError::match_failure(format!(
+                    "constant mismatch: {} vs {}",
+                    pc.name, tc.name
+                )));
+            }
+            pc.ty.match_against(&tc.ty, &mut m.type_subst)
+        }
+        (Term::Comb(pf, px), Term::Comb(tf, tx)) => {
+            match_rec(pf, tf, bound, m)?;
+            match_rec(px, tx, bound, m)
+        }
+        (Term::Abs(pv, pb), Term::Abs(tv, tb)) => {
+            pv.ty.match_against(&tv.ty, &mut m.type_subst)?;
+            bound.push((pv.clone(), tv.clone()));
+            let r = match_rec(pb, tb, bound, m);
+            bound.pop();
+            r
+        }
+        _ => Err(LogicError::match_failure(format!(
+            "structural mismatch: {pattern} vs {term}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &Term, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match t {
+                Term::Var(v) => write!(f, "{}", v.name),
+                Term::Const(c) => write!(f, "{}", c.name),
+                Term::Comb(g, x) => {
+                    // Special-case infix equality for readability.
+                    if let Term::Comb(eq, l) = g.as_ref() {
+                        if let Term::Const(c) = eq.as_ref() {
+                            if c.name == "=" {
+                                if prec > 0 {
+                                    write!(f, "(")?;
+                                }
+                                go(l, f, 1)?;
+                                write!(f, " = ")?;
+                                go(x, f, 1)?;
+                                if prec > 0 {
+                                    write!(f, ")")?;
+                                }
+                                return Ok(());
+                            }
+                        }
+                    }
+                    if prec > 1 {
+                        write!(f, "(")?;
+                    }
+                    go(g, f, 1)?;
+                    write!(f, " ")?;
+                    go(x, f, 2)?;
+                    if prec > 1 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Term::Abs(v, body) => {
+                    if prec > 0 {
+                        write!(f, "(")?;
+                    }
+                    write!(f, "\\{}. ", v.name)?;
+                    go(body, f, 0)?;
+                    if prec > 0 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> Type {
+        Type::bool()
+    }
+
+    #[test]
+    fn mk_comb_type_checks() {
+        let f = mk_var("f", Type::fun(b(), b()));
+        let x = mk_var("x", b());
+        let y = mk_var("y", Type::bv(4));
+        assert!(mk_comb(&f, &x).is_ok());
+        assert!(mk_comb(&f, &y).is_err());
+        assert!(mk_comb(&x, &y).is_err());
+    }
+
+    #[test]
+    fn eq_requires_same_types() {
+        let x = mk_var("x", b());
+        let y = mk_var("y", b());
+        let z = mk_var("z", Type::bv(8));
+        assert!(mk_eq(&x, &y).is_ok());
+        let err = mk_eq(&x, &z).unwrap_err();
+        assert!(matches!(err, LogicError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn dest_eq_roundtrip() {
+        let x = mk_var("x", b());
+        let y = mk_var("y", b());
+        let e = mk_eq(&x, &y).unwrap();
+        let (l, r) = e.dest_eq().unwrap();
+        assert!(l.aconv(&x));
+        assert!(r.aconv(&y));
+        assert!(x.dest_eq().is_err());
+    }
+
+    #[test]
+    fn free_vars_and_occurs() {
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        let body = mk_eq(&x.term(), &y.term()).unwrap();
+        let lam = mk_abs(&x, &body);
+        assert!(body.occurs_free(&x));
+        assert!(!lam.occurs_free(&x));
+        assert!(lam.occurs_free(&y));
+        assert_eq!(lam.free_vars(), vec![y]);
+    }
+
+    #[test]
+    fn aconv_alpha_equivalence() {
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        let id_x = mk_abs(&x, &x.term());
+        let id_y = mk_abs(&y, &y.term());
+        assert!(id_x.aconv(&id_y));
+        assert_ne!(*id_x, *id_y); // syntactically different
+        let konst = mk_abs(&x, &y.term());
+        assert!(!id_x.aconv(&konst));
+    }
+
+    #[test]
+    fn aconv_distinguishes_capture() {
+        // \x. \y. x  vs  \y. \y. y  must not be alpha equivalent.
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        let t1 = mk_abs(&x, &mk_abs(&y, &x.term()));
+        let t2 = mk_abs(&y, &mk_abs(&y, &y.term()));
+        assert!(!t1.aconv(&t2));
+    }
+
+    #[test]
+    fn substitution_is_capture_avoiding() {
+        // (\y. x) [x := y]  must become  \y'. y  (not \y. y).
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        let t = mk_abs(&y, &x.term());
+        let s = vsubst(&vec![(x.clone(), y.term())], &t);
+        let (bv, body) = s.dest_abs().unwrap();
+        assert_ne!(bv.name, "y");
+        assert!(body.aconv(&y.term()));
+    }
+
+    #[test]
+    fn substitution_ignores_bound_occurrences() {
+        let x = Var::new("x", b());
+        let t = mk_abs(&x, &x.term());
+        let s = vsubst(&vec![(x.clone(), mk_var("z", b()))], &t);
+        assert!(s.aconv(&t));
+    }
+
+    #[test]
+    fn beta_reduction_basics() {
+        let x = Var::new("x", b());
+        let y = mk_var("y", b());
+        let id = mk_abs(&x, &x.term());
+        let app = mk_comb(&id, &y).unwrap();
+        let red = beta_reduce(&app).unwrap();
+        assert!(red.aconv(&y));
+        assert!(beta_reduce(&y).is_err());
+    }
+
+    #[test]
+    fn beta_normalization_nested() {
+        // (\f. f y) (\x. x)  ~>  y
+        let x = Var::new("x", b());
+        let fvar = Var::new("f", Type::fun(b(), b()));
+        let y = mk_var("y", b());
+        let id = mk_abs(&x, &x.term());
+        let body = mk_comb(&fvar.term(), &y).unwrap();
+        let outer = mk_comb(&mk_abs(&fvar, &body), &id).unwrap();
+        let nf = beta_normalize(&outer);
+        assert!(nf.aconv(&y));
+    }
+
+    #[test]
+    fn inst_type_changes_annotation() {
+        let a = Type::var("a");
+        let x = mk_var("x", a.clone());
+        let mut theta = TypeSubst::new();
+        theta.insert("a".into(), Type::bv(8));
+        let inst = inst_type(&theta, &x);
+        assert_eq!(inst.ty().unwrap(), Type::bv(8));
+    }
+
+    #[test]
+    fn matching_simple_rewrite_pattern() {
+        // pattern: fst (pair a b) ... here modelled by generic f a b against concrete.
+        let a = Var::new("a", Type::var("A"));
+        let b_v = Var::new("b", Type::var("B"));
+        let f = mk_const(
+            "pair",
+            Type::fun(
+                Type::var("A"),
+                Type::fun(Type::var("B"), Type::prod(Type::var("A"), Type::var("B"))),
+            ),
+        );
+        let pat = list_mk_comb(&f, &[a.term(), b_v.term()]).unwrap();
+
+        let cf = mk_const(
+            "pair",
+            Type::fun(
+                Type::bool(),
+                Type::fun(Type::bv(4), Type::prod(Type::bool(), Type::bv(4))),
+            ),
+        );
+        let concrete =
+            list_mk_comb(&cf, &[mk_var("p", Type::bool()), mk_var("q", Type::bv(4))]).unwrap();
+
+        let m = term_match(&pat, &concrete).unwrap();
+        assert_eq!(m.type_subst.get("A"), Some(&Type::bool()));
+        assert_eq!(m.type_subst.get("B"), Some(&Type::bv(4)));
+        assert_eq!(m.term_subst.len(), 2);
+    }
+
+    #[test]
+    fn matching_rejects_inconsistent_binding() {
+        let x = Var::new("x", b());
+        let pat = mk_eq(&x.term(), &x.term()).unwrap();
+        let concrete = mk_eq(&mk_var("p", b()), &mk_var("q", b())).unwrap();
+        assert!(term_match(&pat, &concrete).is_err());
+        let ok = mk_eq(&mk_var("p", b()), &mk_var("p", b())).unwrap();
+        assert!(term_match(&pat, &ok).is_ok());
+    }
+
+    #[test]
+    fn matching_under_binders() {
+        // pattern \x. c x  against  \y. c y
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        let c = mk_const("c", Type::fun(b(), b()));
+        let pat = mk_abs(&x, &mk_comb(&c, &x.term()).unwrap());
+        let tgt = mk_abs(&y, &mk_comb(&c, &y.term()).unwrap());
+        assert!(term_match(&pat, &tgt).is_ok());
+    }
+
+    #[test]
+    fn matching_refuses_escaping_bound_var() {
+        // pattern \x. v  (v free) against \y. y would require v := y (bound) -> reject.
+        let x = Var::new("x", b());
+        let v = Var::new("v", b());
+        let y = Var::new("y", b());
+        let pat = mk_abs(&x, &v.term());
+        let tgt = mk_abs(&y, &y.term());
+        assert!(term_match(&pat, &tgt).is_err());
+    }
+
+    #[test]
+    fn strip_comb_spine() {
+        let f = mk_var("f", Type::fun(b(), Type::fun(b(), b())));
+        let x = mk_var("x", b());
+        let y = mk_var("y", b());
+        let t = list_mk_comb(&f, &[x.clone(), y.clone()]).unwrap();
+        let (head, args) = t.strip_comb();
+        assert!(head.aconv(&f));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn size_and_constants() {
+        let c = mk_const("T", b());
+        let e = mk_eq(&c, &c).unwrap();
+        assert_eq!(e.constants(), vec!["=".to_string(), "T".to_string()]);
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let x = Var::new("x", b());
+        let t = mk_abs(&x, &mk_eq(&x.term(), &mk_const("T", b())).unwrap());
+        assert_eq!(t.to_string(), "\\x. x = T");
+    }
+}

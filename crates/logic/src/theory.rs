@@ -1,0 +1,391 @@
+//! Theories: constant signatures, axioms, definitions and computation rules.
+//!
+//! A [`Theory`] records everything that extends the trust base beyond the
+//! primitive inference rules of [`crate::thm`]:
+//!
+//! * **constants** with their generic types,
+//! * **axioms** introduced with [`Theory::new_axiom`],
+//! * **definitions** introduced with [`Theory::new_definition`] (conservative
+//!   extensions: the definition body must be closed),
+//! * **computation rules** ("delta rules") registered with
+//!   [`Theory::new_delta_rule`] — trusted evaluators such as the bit-vector
+//!   arithmetic used to compute the new initial value `f(q)` of a shifted
+//!   register in step 4 of the paper's retiming procedure.
+//!
+//! Everything is auditable: the tests of the downstream crates assert that
+//! the complete reproduction only ever relies on the small, documented set
+//! of axioms and delta rules of the boolean, pair and Automata theories.
+
+use crate::error::{LogicError, Result};
+use crate::term::{mk_const, Term, TermRef};
+use crate::thm::Theorem;
+use crate::types::{Type, TypeSubst};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A trusted computation rule: maps a term to its evaluated form, or `None`
+/// when it does not apply.
+pub type DeltaFn = Rc<dyn Fn(&TermRef) -> Option<TermRef>>;
+
+/// A logical theory: signature, axioms, definitions and computation rules.
+pub struct Theory {
+    constants: BTreeMap<String, Type>,
+    axioms: Vec<(String, Theorem)>,
+    definitions: Vec<(String, Theorem)>,
+    delta_rules: BTreeMap<String, DeltaFn>,
+}
+
+impl Default for Theory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Theory {
+    /// Creates an empty theory containing only the built-in polymorphic
+    /// equality constant.
+    pub fn new() -> Theory {
+        let mut constants = BTreeMap::new();
+        constants.insert(
+            "=".to_string(),
+            Type::fun(
+                Type::var("a"),
+                Type::fun(Type::var("a"), Type::bool()),
+            ),
+        );
+        Theory {
+            constants,
+            axioms: Vec::new(),
+            definitions: Vec::new(),
+            delta_rules: BTreeMap::new(),
+        }
+    }
+
+    /// Declares a constant with its generic type.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the constant is already declared with a different type.
+    pub fn declare_constant(&mut self, name: impl Into<String>, ty: Type) -> Result<()> {
+        let name = name.into();
+        match self.constants.get(&name) {
+            Some(existing) if *existing == ty => Ok(()),
+            Some(existing) => Err(LogicError::theory(format!(
+                "constant {name} already declared with type {existing}, not {ty}"
+            ))),
+            None => {
+                self.constants.insert(name, ty);
+                Ok(())
+            }
+        }
+    }
+
+    /// The generic type of a declared constant.
+    pub fn constant_type(&self, name: &str) -> Option<&Type> {
+        self.constants.get(name)
+    }
+
+    /// Whether the constant has been declared.
+    pub fn has_constant(&self, name: &str) -> bool {
+        self.constants.contains_key(name)
+    }
+
+    /// Builds an occurrence of a declared constant at an instance of its
+    /// generic type.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the constant is unknown or the requested type is not an
+    /// instance of the generic type.
+    pub fn const_at(&self, name: &str, ty: Type) -> Result<TermRef> {
+        let generic = self
+            .constants
+            .get(name)
+            .ok_or_else(|| LogicError::theory(format!("unknown constant {name}")))?;
+        let mut theta = TypeSubst::new();
+        generic.match_against(&ty, &mut theta).map_err(|_| {
+            LogicError::theory(format!(
+                "type {ty} is not an instance of the generic type {generic} of {name}"
+            ))
+        })?;
+        Ok(mk_const(name, ty))
+    }
+
+    /// Builds an occurrence of a declared constant with its type variables
+    /// instantiated according to `theta`.
+    pub fn const_with(&self, name: &str, theta: &TypeSubst) -> Result<TermRef> {
+        let generic = self
+            .constants
+            .get(name)
+            .ok_or_else(|| LogicError::theory(format!("unknown constant {name}")))?;
+        Ok(mk_const(name, generic.subst(theta)))
+    }
+
+    /// Introduces a named axiom. The term must be boolean. The axiom is
+    /// recorded and can be inspected with [`Theory::axioms`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the term is not boolean or the name is already used.
+    pub fn new_axiom(&mut self, name: impl Into<String>, term: &TermRef) -> Result<Theorem> {
+        let name = name.into();
+        if !term.ty()?.is_bool() {
+            return Err(LogicError::theory(format!(
+                "axiom {name} is not a boolean term: {term}"
+            )));
+        }
+        if self.axioms.iter().any(|(n, _)| *n == name) {
+            return Err(LogicError::theory(format!("axiom {name} already exists")));
+        }
+        let th = Theorem::trusted(Vec::new(), Rc::clone(term));
+        self.axioms.push((name, th.clone()));
+        Ok(th)
+    }
+
+    /// Introduces a new constant by definition `c = body`, where `body` is a
+    /// closed term. Returns the defining theorem `⊢ c = body`.
+    ///
+    /// This is a conservative extension: it cannot introduce inconsistency.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the body has free variables, the constant already exists, or
+    /// the definition name is already used.
+    pub fn new_definition(
+        &mut self,
+        name: impl Into<String>,
+        const_name: impl Into<String>,
+        body: &TermRef,
+    ) -> Result<Theorem> {
+        let name = name.into();
+        let const_name = const_name.into();
+        let free = body.free_vars();
+        if !free.is_empty() {
+            return Err(LogicError::theory(format!(
+                "definition body of {const_name} has free variables: {}",
+                free.iter()
+                    .map(|v| v.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
+        if self.constants.contains_key(&const_name) {
+            return Err(LogicError::theory(format!(
+                "constant {const_name} is already declared"
+            )));
+        }
+        if self.definitions.iter().any(|(n, _)| *n == name) {
+            return Err(LogicError::theory(format!(
+                "definition {name} already exists"
+            )));
+        }
+        let ty = body.ty()?;
+        self.constants.insert(const_name.clone(), ty.clone());
+        let c = mk_const(const_name, ty);
+        let concl = crate::term::mk_eq(&c, body)?;
+        let th = Theorem::trusted(Vec::new(), concl);
+        self.definitions.push((name, th.clone()));
+        Ok(th)
+    }
+
+    /// Registers a trusted computation rule under the given name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a rule of that name already exists.
+    pub fn new_delta_rule(
+        &mut self,
+        name: impl Into<String>,
+        rule: impl Fn(&TermRef) -> Option<TermRef> + 'static,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.delta_rules.contains_key(&name) {
+            return Err(LogicError::theory(format!(
+                "delta rule {name} already exists"
+            )));
+        }
+        self.delta_rules.insert(name, Rc::new(rule));
+        Ok(())
+    }
+
+    /// Applies the named computation rule to a term, producing the theorem
+    /// `⊢ term = result`.
+    ///
+    /// The result's type is checked against the input's type: a computation
+    /// rule can therefore never produce an ill-typed equation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the rule is unknown, does not apply, or produces a term of a
+    /// different type.
+    pub fn apply_delta(&self, name: &str, term: &TermRef) -> Result<Theorem> {
+        let rule = self
+            .delta_rules
+            .get(name)
+            .ok_or_else(|| LogicError::theory(format!("unknown delta rule {name}")))?;
+        let result = rule(term).ok_or_else(|| {
+            LogicError::conversion("apply_delta", format!("rule {name} does not apply to {term}"))
+        })?;
+        let tty = term.ty()?;
+        let rty = result.ty()?;
+        if tty != rty {
+            return Err(LogicError::type_mismatch(
+                format!("delta rule {name}"),
+                tty.to_string(),
+                rty.to_string(),
+            ));
+        }
+        let concl = crate::term::mk_eq(term, &result)?;
+        Ok(Theorem::trusted(Vec::new(), concl))
+    }
+
+    /// Tries every registered computation rule on the term and returns the
+    /// first success.
+    pub fn apply_any_delta(&self, term: &TermRef) -> Option<Theorem> {
+        for name in self.delta_rules.keys() {
+            if let Ok(th) = self.apply_delta(name, term) {
+                return Some(th);
+            }
+        }
+        None
+    }
+
+    /// All recorded axioms (name and theorem).
+    pub fn axioms(&self) -> &[(String, Theorem)] {
+        &self.axioms
+    }
+
+    /// All recorded definitions (name and defining theorem).
+    pub fn definitions(&self) -> &[(String, Theorem)] {
+        &self.definitions
+    }
+
+    /// The names of all registered computation rules.
+    pub fn delta_rule_names(&self) -> Vec<&str> {
+        self.delta_rules.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// A report of the complete trust base of this theory, suitable for
+    /// inclusion in experiment logs.
+    pub fn trust_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("axioms: {}\n", self.axioms.len()));
+        for (name, th) in &self.axioms {
+            out.push_str(&format!("  {name}: {th}\n"));
+        }
+        out.push_str(&format!("definitions: {}\n", self.definitions.len()));
+        for (name, _) in &self.definitions {
+            out.push_str(&format!("  {name}\n"));
+        }
+        out.push_str(&format!("delta rules: {}\n", self.delta_rules.len()));
+        for name in self.delta_rules.keys() {
+            out.push_str(&format!("  {name}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Theory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Theory")
+            .field("constants", &self.constants.len())
+            .field("axioms", &self.axioms.len())
+            .field("definitions", &self.definitions.len())
+            .field("delta_rules", &self.delta_rules.len())
+            .finish()
+    }
+}
+
+/// Convenience: is the term a variable-free ("ground") term? Computation
+/// rules usually only apply to ground terms.
+pub fn is_ground(term: &Term) -> bool {
+    term.free_vars().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{mk_eq, mk_var};
+
+    #[test]
+    fn constants_and_instances() {
+        let mut thy = Theory::new();
+        assert!(thy.has_constant("="));
+        thy.declare_constant("fst", Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("a")))
+            .unwrap();
+        let inst = thy
+            .const_at(
+                "fst",
+                Type::fun(Type::prod(Type::bool(), Type::bv(4)), Type::bool()),
+            )
+            .unwrap();
+        assert_eq!(
+            inst.ty().unwrap(),
+            Type::fun(Type::prod(Type::bool(), Type::bv(4)), Type::bool())
+        );
+        // Not an instance of the generic type:
+        assert!(thy
+            .const_at("fst", Type::fun(Type::bool(), Type::bool()))
+            .is_err());
+        // Re-declaration with the same type is fine, with another type is not.
+        assert!(thy
+            .declare_constant("fst", Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("a")))
+            .is_ok());
+        assert!(thy.declare_constant("fst", Type::bool()).is_err());
+    }
+
+    #[test]
+    fn axioms_are_recorded_and_must_be_bool() {
+        let mut thy = Theory::new();
+        let p = mk_var("p", Type::bool());
+        let ax = thy.new_axiom("P_AX", &mk_eq(&p, &p).unwrap()).unwrap();
+        assert!(ax.is_closed());
+        assert_eq!(thy.axioms().len(), 1);
+        assert!(thy.new_axiom("P_AX", &mk_eq(&p, &p).unwrap()).is_err());
+        let n = mk_var("n", Type::bv(8));
+        assert!(thy.new_axiom("BAD", &n).is_err());
+    }
+
+    #[test]
+    fn definitions_require_closed_bodies() {
+        let mut thy = Theory::new();
+        let x = crate::term::Var::new("x", Type::bool());
+        let id = crate::term::mk_abs(&x, &x.term());
+        let def = thy.new_definition("ID_DEF", "ID", &id).unwrap();
+        assert_eq!(def.concl().to_string(), "ID = (\\x. x)");
+        assert!(thy.has_constant("ID"));
+        // Open body rejected.
+        let y = mk_var("y", Type::bool());
+        assert!(thy.new_definition("BAD", "BAD_CONST", &y).is_err());
+        // Redefinition rejected.
+        assert!(thy.new_definition("ID_DEF2", "ID", &id).is_err());
+    }
+
+    #[test]
+    fn delta_rules_are_type_checked() {
+        let mut thy = Theory::new();
+        // A rule that "evaluates" the constant zero to itself.
+        thy.new_delta_rule("id_rule", |t| Some(Rc::clone(t))).unwrap();
+        let c = mk_var("c", Type::bv(8));
+        let th = thy.apply_delta("id_rule", &c).unwrap();
+        assert_eq!(th.concl().to_string(), "c = c");
+
+        // A rule producing a different type is rejected.
+        thy.new_delta_rule("bad_rule", |_| Some(mk_var("b", Type::bool())))
+            .unwrap();
+        assert!(thy.apply_delta("bad_rule", &c).is_err());
+        assert!(thy.apply_delta("missing", &c).is_err());
+        assert_eq!(thy.delta_rule_names().len(), 2);
+    }
+
+    #[test]
+    fn trust_report_lists_everything() {
+        let mut thy = Theory::new();
+        let p = mk_var("p", Type::bool());
+        thy.new_axiom("AX", &mk_eq(&p, &p).unwrap()).unwrap();
+        thy.new_delta_rule("r", |_| None).unwrap();
+        let report = thy.trust_report();
+        assert!(report.contains("AX"));
+        assert!(report.contains("delta rules: 1"));
+    }
+}

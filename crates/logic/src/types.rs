@@ -1,0 +1,299 @@
+//! Simple types of the higher-order logic.
+//!
+//! The type language mirrors the HOL family: a type is either a *type
+//! variable* or a *type constructor* applied to argument types. The
+//! constructors used by the Automata theory are
+//! `bool`, `fun` (binary, written `a -> b`), `prod` (binary, written
+//! `a # b`), the unit type `one`, and the bit-vector family `bvN`
+//! (a nullary constructor per width, e.g. `bv8`).
+//!
+//! Types are the kernel's first line of defence: the paper's "false cut"
+//! example (Fig. 4) is rejected precisely because the equation between the
+//! original and the wrongly split combinational block cannot even be
+//! *expressed* — the two sides have different types.
+
+use crate::error::{LogicError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A simple type of the logic.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Type {
+    /// A type variable, e.g. `'a`.
+    Var(String),
+    /// A type constructor applied to arguments, e.g. `fun(bool, bool)`.
+    Con(String, Vec<Type>),
+}
+
+/// A substitution mapping type-variable names to types.
+pub type TypeSubst = BTreeMap<String, Type>;
+
+impl Type {
+    /// The type of truth values.
+    pub fn bool() -> Type {
+        Type::Con("bool".into(), Vec::new())
+    }
+
+    /// The one-element type (used as the state of purely combinational
+    /// automata).
+    pub fn one() -> Type {
+        Type::Con("one".into(), Vec::new())
+    }
+
+    /// The function type `dom -> cod`.
+    pub fn fun(dom: Type, cod: Type) -> Type {
+        Type::Con("fun".into(), vec![dom, cod])
+    }
+
+    /// The product type `a # b`.
+    pub fn prod(a: Type, b: Type) -> Type {
+        Type::Con("prod".into(), vec![a, b])
+    }
+
+    /// A bit-vector type of the given width. `bv1` is used for single wires.
+    pub fn bv(width: u32) -> Type {
+        Type::Con(format!("bv{width}"), Vec::new())
+    }
+
+    /// A fresh type variable with the given name.
+    pub fn var(name: impl Into<String>) -> Type {
+        Type::Var(name.into())
+    }
+
+    /// Right-nested product of a list of types; the empty list gives `one`.
+    ///
+    /// This is how a register bank with several registers is given a single
+    /// state type in the Automata theory.
+    pub fn prod_list(tys: &[Type]) -> Type {
+        match tys.split_first() {
+            None => Type::one(),
+            Some((head, rest)) => {
+                if rest.is_empty() {
+                    head.clone()
+                } else {
+                    Type::prod(head.clone(), Type::prod_list(rest))
+                }
+            }
+        }
+    }
+
+    /// Returns `(dom, cod)` if this is a function type.
+    pub fn dest_fun(&self) -> Result<(&Type, &Type)> {
+        match self {
+            Type::Con(name, args) if name == "fun" && args.len() == 2 => Ok((&args[0], &args[1])),
+            other => Err(LogicError::ill_formed(
+                "dest_fun",
+                format!("not a function type: {other}"),
+            )),
+        }
+    }
+
+    /// Returns `(left, right)` if this is a product type.
+    pub fn dest_prod(&self) -> Result<(&Type, &Type)> {
+        match self {
+            Type::Con(name, args) if name == "prod" && args.len() == 2 => Ok((&args[0], &args[1])),
+            other => Err(LogicError::ill_formed(
+                "dest_prod",
+                format!("not a product type: {other}"),
+            )),
+        }
+    }
+
+    /// Whether this is the boolean type.
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Type::Con(name, args) if name == "bool" && args.is_empty())
+    }
+
+    /// Whether this is a function type.
+    pub fn is_fun(&self) -> bool {
+        matches!(self, Type::Con(name, args) if name == "fun" && args.len() == 2)
+    }
+
+    /// Whether this is a product type.
+    pub fn is_prod(&self) -> bool {
+        matches!(self, Type::Con(name, args) if name == "prod" && args.len() == 2)
+    }
+
+    /// The width of a bit-vector type, if it is one.
+    pub fn bv_width(&self) -> Option<u32> {
+        match self {
+            Type::Con(name, args) if args.is_empty() && name.starts_with("bv") => {
+                name[2..].parse().ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// All type-variable names occurring in this type, in first-occurrence
+    /// order.
+    pub fn type_vars(&self) -> Vec<String> {
+        let mut acc = Vec::new();
+        self.collect_type_vars(&mut acc);
+        acc
+    }
+
+    fn collect_type_vars(&self, acc: &mut Vec<String>) {
+        match self {
+            Type::Var(name) => {
+                if !acc.iter().any(|n| n == name) {
+                    acc.push(name.clone());
+                }
+            }
+            Type::Con(_, args) => {
+                for a in args {
+                    a.collect_type_vars(acc);
+                }
+            }
+        }
+    }
+
+    /// Applies a type substitution.
+    pub fn subst(&self, theta: &TypeSubst) -> Type {
+        match self {
+            Type::Var(name) => theta.get(name).cloned().unwrap_or_else(|| self.clone()),
+            Type::Con(name, args) => {
+                Type::Con(name.clone(), args.iter().map(|a| a.subst(theta)).collect())
+            }
+        }
+    }
+
+    /// First-order matching of `self` (the pattern) against `concrete`,
+    /// extending the substitution `theta`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the structures are incompatible or a type variable would
+    /// have to be bound to two different types.
+    pub fn match_against(&self, concrete: &Type, theta: &mut TypeSubst) -> Result<()> {
+        match (self, concrete) {
+            (Type::Var(name), _) => match theta.get(name) {
+                Some(bound) if bound == concrete => Ok(()),
+                Some(bound) => Err(LogicError::match_failure(format!(
+                    "type variable '{name} already bound to {bound}, cannot also bind {concrete}"
+                ))),
+                None => {
+                    theta.insert(name.clone(), concrete.clone());
+                    Ok(())
+                }
+            },
+            (Type::Con(pname, pargs), Type::Con(cname, cargs)) => {
+                if pname != cname || pargs.len() != cargs.len() {
+                    return Err(LogicError::match_failure(format!(
+                        "type constructor mismatch: {self} vs {concrete}"
+                    )));
+                }
+                for (p, c) in pargs.iter().zip(cargs.iter()) {
+                    p.match_against(c, theta)?;
+                }
+                Ok(())
+            }
+            (Type::Con(..), Type::Var(_)) => Err(LogicError::match_failure(format!(
+                "cannot match constructor {self} against type variable {concrete}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Var(name) => write!(f, "'{name}"),
+            Type::Con(name, args) => match (name.as_str(), args.as_slice()) {
+                ("fun", [d, c]) => write!(f, "({d} -> {c})"),
+                ("prod", [a, b]) => write!(f, "({a} # {b})"),
+                (_, []) => write!(f, "{name}"),
+                _ => {
+                    write!(f, "{name}(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fun_and_prod_destructors() {
+        let t = Type::fun(Type::bool(), Type::bv(8));
+        let (d, c) = t.dest_fun().expect("function type");
+        assert!(d.is_bool());
+        assert_eq!(c.bv_width(), Some(8));
+        assert!(t.dest_prod().is_err());
+
+        let p = Type::prod(Type::bv(4), Type::bool());
+        let (a, b) = p.dest_prod().expect("product type");
+        assert_eq!(a.bv_width(), Some(4));
+        assert!(b.is_bool());
+    }
+
+    #[test]
+    fn bv_width_parsing() {
+        assert_eq!(Type::bv(1).bv_width(), Some(1));
+        assert_eq!(Type::bv(64).bv_width(), Some(64));
+        assert_eq!(Type::bool().bv_width(), None);
+        assert_eq!(Type::var("a").bv_width(), None);
+    }
+
+    #[test]
+    fn prod_list_shapes() {
+        assert_eq!(Type::prod_list(&[]), Type::one());
+        assert_eq!(Type::prod_list(&[Type::bool()]), Type::bool());
+        assert_eq!(
+            Type::prod_list(&[Type::bv(2), Type::bv(3), Type::bv(4)]),
+            Type::prod(Type::bv(2), Type::prod(Type::bv(3), Type::bv(4)))
+        );
+    }
+
+    #[test]
+    fn substitution_and_type_vars() {
+        let a = Type::var("a");
+        let b = Type::var("b");
+        let t = Type::fun(a.clone(), Type::prod(b.clone(), a.clone()));
+        assert_eq!(t.type_vars(), vec!["a".to_string(), "b".to_string()]);
+
+        let mut theta = TypeSubst::new();
+        theta.insert("a".into(), Type::bool());
+        let s = t.subst(&theta);
+        assert_eq!(
+            s,
+            Type::fun(Type::bool(), Type::prod(b.clone(), Type::bool()))
+        );
+    }
+
+    #[test]
+    fn matching_binds_consistently() {
+        let pat = Type::fun(Type::var("a"), Type::var("a"));
+        let mut theta = TypeSubst::new();
+        pat.match_against(&Type::fun(Type::bv(8), Type::bv(8)), &mut theta)
+            .expect("consistent match");
+        assert_eq!(theta.get("a"), Some(&Type::bv(8)));
+
+        let mut theta2 = TypeSubst::new();
+        let err = pat
+            .match_against(&Type::fun(Type::bv(8), Type::bool()), &mut theta2)
+            .unwrap_err();
+        assert!(matches!(err, LogicError::MatchFailure { .. }));
+    }
+
+    #[test]
+    fn matching_rejects_constructor_vs_var() {
+        let pat = Type::bool();
+        let mut theta = TypeSubst::new();
+        assert!(pat.match_against(&Type::var("x"), &mut theta).is_err());
+    }
+
+    #[test]
+    fn display_round_trippable_shapes() {
+        let t = Type::fun(Type::prod(Type::bv(8), Type::bool()), Type::var("out"));
+        assert_eq!(t.to_string(), "((bv8 # bool) -> 'out)");
+    }
+}

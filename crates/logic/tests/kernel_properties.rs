@@ -1,0 +1,89 @@
+//! Property-based tests of the kernel invariants: substitution,
+//! alpha-equivalence, beta normalisation and the primitive rules.
+
+use hash_logic::conv::beta_norm_thm;
+use hash_logic::prelude::*;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+/// A small strategy for boolean terms over variables p0..p3 built from
+/// equality and lambda application.
+fn bool_term(depth: u32) -> BoxedStrategy<TermRef> {
+    let leaf = (0u8..4).prop_map(|i| mk_var(format!("p{i}"), Type::bool()));
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let sub = bool_term(depth - 1);
+        prop_oneof![
+            leaf,
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| mk_eq(&a, &b).expect("same type")),
+            (0u8..4, sub).prop_map(|(i, body)| {
+                // (\pi. body) pi  — a beta redex that normalises to body.
+                let v = Var::new(format!("p{i}"), Type::bool());
+                mk_comb(&mk_abs(&v, &body), &v.term()).expect("well typed")
+            }),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aconv_is_reflexive_and_respects_refl(t in bool_term(3)) {
+        prop_assert!(t.aconv(&t));
+        let th = Theorem::refl(&t).unwrap();
+        let (l, r) = th.dest_eq().unwrap();
+        prop_assert!(l.aconv(&r));
+        prop_assert!(th.is_closed());
+    }
+
+    #[test]
+    fn substitution_removes_the_variable(t in bool_term(3)) {
+        // Substituting a fresh constant for p0 removes p0 from the free
+        // variables.
+        let p0 = Var::new("p0", Type::bool());
+        let replacement = mk_const("T", Type::bool());
+        let s = vsubst(&vec![(p0.clone(), Rc::clone(&replacement))], &t);
+        prop_assert!(!s.occurs_free(&p0));
+    }
+
+    #[test]
+    fn beta_normalisation_is_sound_and_idempotent(t in bool_term(3)) {
+        let th = beta_norm_thm(&t).unwrap();
+        prop_assert!(th.is_closed());
+        let (l, nf) = th.dest_eq().unwrap();
+        prop_assert!(l.aconv(&t));
+        // Normalising again is the identity.
+        let th2 = beta_norm_thm(&nf).unwrap();
+        let (_, nf2) = th2.dest_eq().unwrap();
+        prop_assert!(nf.aconv(&nf2));
+    }
+
+    #[test]
+    fn sym_is_an_involution(a in bool_term(2), b in bool_term(2)) {
+        let eq = mk_eq(&a, &b).unwrap();
+        let th = Theorem::assume(&eq).unwrap();
+        let back = th.sym().unwrap().sym().unwrap();
+        prop_assert_eq!(back, th);
+    }
+
+    #[test]
+    fn trans_of_refl_is_identity(t in bool_term(3)) {
+        let r = Theorem::refl(&t).unwrap();
+        let tr = Theorem::trans(&r, &r).unwrap();
+        prop_assert_eq!(tr, r);
+    }
+
+    #[test]
+    fn instantiation_preserves_closedness(t in bool_term(3)) {
+        let th = Theorem::refl(&t).unwrap();
+        let q = mk_var("q", Type::bool());
+        let inst = th
+            .inst(&vec![(Var::new("p0", Type::bool()), q)])
+            .unwrap();
+        prop_assert!(inst.is_closed());
+        prop_assert!(inst.concl().is_eq());
+    }
+}

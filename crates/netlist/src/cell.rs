@@ -1,0 +1,325 @@
+//! Signals, combinational operators, cells and registers.
+//!
+//! A netlist is made of *signals* (named wires with a bit width), *cells*
+//! (instances of combinational operators driving one signal) and
+//! *registers* (D flip-flop banks with an initial value). The operator set
+//! covers the RT-level components used by the paper's example circuit
+//! (incrementer, comparator, multiplexer) plus the usual boolean and
+//! arithmetic operators, and a gate-level subset used after bit-blasting.
+
+use crate::error::{NetlistError, Result};
+use crate::value::BitVec;
+use std::fmt;
+
+/// An opaque handle to a signal within a [`crate::netlist::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The raw index of the signal.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A named wire with a bit width.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signal {
+    /// The signal's name (unique within a netlist).
+    pub name: String,
+    /// The signal's width in bits.
+    pub width: u32,
+}
+
+/// A combinational operator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CombOp {
+    /// A constant value (no operands).
+    Const(BitVec),
+    /// Bitwise negation (1 operand).
+    Not,
+    /// Bitwise AND (2 operands of equal width).
+    And,
+    /// Bitwise OR (2 operands of equal width).
+    Or,
+    /// Bitwise XOR (2 operands of equal width).
+    Xor,
+    /// Addition modulo `2^w` (2 operands of equal width).
+    Add,
+    /// Subtraction modulo `2^w` (2 operands of equal width).
+    Sub,
+    /// Increment modulo `2^w` (1 operand) — the paper's `+1` component.
+    Inc,
+    /// Equality comparison (2 operands, 1-bit result).
+    Eq,
+    /// Unsigned less-than (2 operands, 1-bit result).
+    Lt,
+    /// Unsigned greater-or-equal (2 operands, 1-bit result).
+    Ge,
+    /// Two-way multiplexer (3 operands: select, then, else).
+    Mux,
+    /// Concatenation (2 operands: high part, low part).
+    Concat,
+    /// Bit slice `[hi:lo]` of a single operand.
+    Slice {
+        /// The most significant selected bit (inclusive).
+        hi: u32,
+        /// The least significant selected bit (inclusive).
+        lo: u32,
+    },
+}
+
+impl CombOp {
+    /// The number of operands the operator takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            CombOp::Const(_) => 0,
+            CombOp::Not | CombOp::Inc | CombOp::Slice { .. } => 1,
+            CombOp::And
+            | CombOp::Or
+            | CombOp::Xor
+            | CombOp::Add
+            | CombOp::Sub
+            | CombOp::Eq
+            | CombOp::Lt
+            | CombOp::Ge
+            | CombOp::Concat => 2,
+            CombOp::Mux => 3,
+        }
+    }
+
+    /// A short name used in diagnostics and statistics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CombOp::Const(_) => "const",
+            CombOp::Not => "not",
+            CombOp::And => "and",
+            CombOp::Or => "or",
+            CombOp::Xor => "xor",
+            CombOp::Add => "add",
+            CombOp::Sub => "sub",
+            CombOp::Inc => "inc",
+            CombOp::Eq => "eq",
+            CombOp::Lt => "lt",
+            CombOp::Ge => "ge",
+            CombOp::Mux => "mux",
+            CombOp::Concat => "concat",
+            CombOp::Slice { .. } => "slice",
+        }
+    }
+
+    /// Computes the output width of the operator given its operand widths.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operand count or widths are incompatible.
+    pub fn output_width(&self, operand_widths: &[u32]) -> Result<u32> {
+        if operand_widths.len() != self.arity() {
+            return Err(NetlistError::ArityMismatch {
+                op: self.name().to_string(),
+                expected: self.arity(),
+                found: operand_widths.len(),
+            });
+        }
+        let same = |a: u32, b: u32, ctx: &str| -> Result<u32> {
+            if a == b {
+                Ok(a)
+            } else {
+                Err(NetlistError::WidthMismatch {
+                    context: ctx.to_string(),
+                    expected: a,
+                    found: b,
+                })
+            }
+        };
+        match self {
+            CombOp::Const(v) => Ok(v.width()),
+            CombOp::Not | CombOp::Inc => Ok(operand_widths[0]),
+            CombOp::And | CombOp::Or | CombOp::Xor | CombOp::Add | CombOp::Sub => {
+                same(operand_widths[0], operand_widths[1], self.name())
+            }
+            CombOp::Eq | CombOp::Lt | CombOp::Ge => {
+                same(operand_widths[0], operand_widths[1], self.name())?;
+                Ok(1)
+            }
+            CombOp::Mux => {
+                if operand_widths[0] != 1 {
+                    return Err(NetlistError::WidthMismatch {
+                        context: "mux select".into(),
+                        expected: 1,
+                        found: operand_widths[0],
+                    });
+                }
+                same(operand_widths[1], operand_widths[2], "mux")
+            }
+            CombOp::Concat => Ok(operand_widths[0] + operand_widths[1]),
+            CombOp::Slice { hi, lo } => {
+                if *lo > *hi || *hi >= operand_widths[0] {
+                    Err(NetlistError::Structure {
+                        message: format!(
+                            "invalid slice [{hi}:{lo}] of a {}-bit signal",
+                            operand_widths[0]
+                        ),
+                    })
+                } else {
+                    Ok(hi - lo + 1)
+                }
+            }
+        }
+    }
+
+    /// Evaluates the operator on concrete values.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operand count or widths are incompatible.
+    pub fn eval(&self, operands: &[BitVec]) -> Result<BitVec> {
+        if operands.len() != self.arity() {
+            return Err(NetlistError::ArityMismatch {
+                op: self.name().to_string(),
+                expected: self.arity(),
+                found: operands.len(),
+            });
+        }
+        match self {
+            CombOp::Const(v) => Ok(*v),
+            CombOp::Not => Ok(operands[0].not()),
+            CombOp::And => operands[0].and(&operands[1]),
+            CombOp::Or => operands[0].or(&operands[1]),
+            CombOp::Xor => operands[0].xor(&operands[1]),
+            CombOp::Add => operands[0].add(&operands[1]),
+            CombOp::Sub => operands[0].sub(&operands[1]),
+            CombOp::Inc => Ok(operands[0].inc()),
+            CombOp::Eq => operands[0].eq_bit(&operands[1]),
+            CombOp::Lt => operands[0].lt_bit(&operands[1]),
+            CombOp::Ge => operands[0].ge_bit(&operands[1]),
+            CombOp::Mux => BitVec::mux(&operands[0], &operands[1], &operands[2]),
+            CombOp::Concat => operands[0].concat(&operands[1]),
+            CombOp::Slice { hi, lo } => operands[0].slice(*hi, *lo),
+        }
+    }
+
+    /// Whether the operator belongs to the gate-level subset (single-bit
+    /// boolean operators, single-bit constants and single-bit multiplexers).
+    pub fn is_gate_level_op(&self) -> bool {
+        matches!(
+            self,
+            CombOp::Not | CombOp::And | CombOp::Or | CombOp::Xor | CombOp::Mux | CombOp::Const(_)
+        )
+    }
+
+    /// An estimate of the number of two-input gates needed to realise the
+    /// operator on `w`-bit operands (used for the gate counts reported in
+    /// the experiment tables).
+    pub fn gate_cost(&self, width: u32) -> usize {
+        let w = width as usize;
+        match self {
+            CombOp::Const(_) => 0,
+            CombOp::Not => w,
+            CombOp::And | CombOp::Or | CombOp::Xor => w,
+            // Ripple-carry structures: ~5 gates per full-adder bit.
+            CombOp::Add | CombOp::Sub => 5 * w,
+            CombOp::Inc => 2 * w,
+            // XNOR per bit plus an AND-reduce tree.
+            CombOp::Eq => 2 * w.max(1) - 1,
+            CombOp::Lt | CombOp::Ge => 3 * w,
+            CombOp::Mux => 3 * w,
+            CombOp::Concat | CombOp::Slice { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for CombOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombOp::Const(v) => write!(f, "const({v})"),
+            CombOp::Slice { hi, lo } => write!(f, "slice[{hi}:{lo}]"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// A combinational cell: an operator instance driving a single signal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cell {
+    /// The operator.
+    pub op: CombOp,
+    /// The operand signals (in operator order).
+    pub inputs: Vec<SignalId>,
+    /// The driven signal.
+    pub output: SignalId,
+}
+
+/// A register bank (D flip-flops) with an initial value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Register {
+    /// The data input (D).
+    pub input: SignalId,
+    /// The registered output (Q).
+    pub output: SignalId,
+    /// The initial value loaded at reset.
+    pub init: BitVec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_names() {
+        assert_eq!(CombOp::Const(BitVec::zero(4)).arity(), 0);
+        assert_eq!(CombOp::Inc.arity(), 1);
+        assert_eq!(CombOp::Add.arity(), 2);
+        assert_eq!(CombOp::Mux.arity(), 3);
+        assert_eq!(CombOp::Mux.name(), "mux");
+        assert_eq!(CombOp::Slice { hi: 3, lo: 0 }.to_string(), "slice[3:0]");
+    }
+
+    #[test]
+    fn output_width_inference() {
+        assert_eq!(CombOp::Add.output_width(&[8, 8]).unwrap(), 8);
+        assert!(CombOp::Add.output_width(&[8, 4]).is_err());
+        assert!(CombOp::Add.output_width(&[8]).is_err());
+        assert_eq!(CombOp::Eq.output_width(&[8, 8]).unwrap(), 1);
+        assert_eq!(CombOp::Mux.output_width(&[1, 8, 8]).unwrap(), 8);
+        assert!(CombOp::Mux.output_width(&[2, 8, 8]).is_err());
+        assert_eq!(CombOp::Concat.output_width(&[3, 5]).unwrap(), 8);
+        assert_eq!(CombOp::Slice { hi: 6, lo: 3 }.output_width(&[8]).unwrap(), 4);
+        assert!(CombOp::Slice { hi: 8, lo: 3 }.output_width(&[8]).is_err());
+        assert_eq!(
+            CombOp::Const(BitVec::new(5, 3).unwrap()).output_width(&[]).unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn evaluation_matches_bitvec_semantics() {
+        let a = BitVec::new(10, 4).unwrap();
+        let b = BitVec::new(7, 4).unwrap();
+        assert_eq!(CombOp::Add.eval(&[a, b]).unwrap().as_u64(), 1);
+        assert_eq!(CombOp::Sub.eval(&[a, b]).unwrap().as_u64(), 3);
+        assert_eq!(CombOp::Inc.eval(&[a]).unwrap().as_u64(), 11);
+        assert!(CombOp::Lt.eval(&[b, a]).unwrap().is_true());
+        assert!(CombOp::Ge.eval(&[a, b]).unwrap().is_true());
+        assert!(!CombOp::Eq.eval(&[a, b]).unwrap().is_true());
+        let sel = BitVec::bit(true);
+        assert_eq!(CombOp::Mux.eval(&[sel, a, b]).unwrap(), a);
+        assert!(CombOp::Add.eval(&[a]).is_err());
+    }
+
+    #[test]
+    fn gate_level_classification_and_cost() {
+        assert!(CombOp::And.is_gate_level_op());
+        assert!(CombOp::Mux.is_gate_level_op());
+        assert!(!CombOp::Add.is_gate_level_op());
+        assert_eq!(CombOp::Add.gate_cost(8), 40);
+        assert_eq!(CombOp::Concat.gate_cost(8), 0);
+        assert!(CombOp::Eq.gate_cost(8) > 0);
+    }
+}

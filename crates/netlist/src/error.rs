@@ -1,0 +1,139 @@
+//! Error type for netlist construction, validation and simulation.
+
+use std::fmt;
+
+/// Errors raised while building, validating or simulating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A signal id was used that does not belong to the netlist.
+    UnknownSignal {
+        /// The offending id (raw index).
+        id: usize,
+    },
+    /// A signal is driven by more than one cell/register/input.
+    MultipleDrivers {
+        /// The signal's name.
+        signal: String,
+    },
+    /// A signal has no driver.
+    Undriven {
+        /// The signal's name.
+        signal: String,
+    },
+    /// An operation was applied to signals of incompatible widths.
+    WidthMismatch {
+        /// Description of the context.
+        context: String,
+        /// Expected width.
+        expected: u32,
+        /// Actual width.
+        found: u32,
+    },
+    /// An operation received the wrong number of operands.
+    ArityMismatch {
+        /// The operation name.
+        op: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Actual operand count.
+        found: usize,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle {
+        /// A signal participating in the cycle.
+        signal: String,
+    },
+    /// A bit-vector value does not fit the requested width.
+    ValueOutOfRange {
+        /// The value.
+        value: u64,
+        /// The width it was supposed to fit in.
+        width: u32,
+    },
+    /// Width 0 or above the supported maximum was requested.
+    UnsupportedWidth {
+        /// The requested width.
+        width: u32,
+    },
+    /// Simulation was given inputs that do not match the netlist interface.
+    BadStimulus {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// Generic structural error.
+    Structure {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownSignal { id } => write!(f, "unknown signal id {id}"),
+            NetlistError::MultipleDrivers { signal } => {
+                write!(f, "signal {signal} has multiple drivers")
+            }
+            NetlistError::Undriven { signal } => write!(f, "signal {signal} has no driver"),
+            NetlistError::WidthMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "width mismatch in {context}: expected {expected}, found {found}"
+            ),
+            NetlistError::ArityMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
+                f,
+                "operation {op} expects {expected} operands, found {found}"
+            ),
+            NetlistError::CombinationalCycle { signal } => {
+                write!(f, "combinational cycle through signal {signal}")
+            }
+            NetlistError::ValueOutOfRange { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            NetlistError::UnsupportedWidth { width } => {
+                write!(f, "unsupported bit-vector width {width} (must be 1..=64)")
+            }
+            NetlistError::BadStimulus { message } => write!(f, "bad stimulus: {message}"),
+            NetlistError::Structure { message } => write!(f, "netlist structure error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NetlistError::WidthMismatch {
+            context: "add".into(),
+            expected: 8,
+            found: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("add") && s.contains('8') && s.contains('4'));
+        assert!(NetlistError::Undriven {
+            signal: "x".into()
+        }
+        .to_string()
+        .contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! # hash-netlist
+//!
+//! Synchronous circuit representation for the DATE'97 HASH retiming
+//! reproduction: RT-level and gate-level netlists, cycle-accurate
+//! simulation, bit-blasting and size statistics.
+//!
+//! A [`Netlist`] consists of primary inputs/outputs, combinational
+//! [`Cell`](cell::Cell)s and [`Register`](cell::Register)s with initial
+//! values — exactly the "combinational part plus registers" view of a
+//! synchronous circuit the paper's Automata theory formalises. The same
+//! structure is shared by:
+//!
+//! * the conventional retiming heuristics (`hash-retiming`),
+//! * the formal synthesis procedure (`hash-core`), which translates the
+//!   netlist into a logical term and back,
+//! * the post-synthesis verification baselines (`hash-equiv`), which work
+//!   on the bit-blasted gate-level form, and
+//! * the benchmark circuit generators (`hash-circuits`).
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_netlist::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), NetlistError> {
+//! // A 4-bit counter: q' = q + 1.
+//! let mut n = Netlist::new("counter");
+//! let q = n.add_signal("q", 4);
+//! let next = n.inc(q, "next")?;
+//! n.add_register(next, q, BitVec::zero(4))?;
+//! n.mark_output(q);
+//!
+//! let mut sim = Simulator::new(&n)?;
+//! assert_eq!(sim.step(&[])?[0].as_u64(), 0);
+//! assert_eq!(sim.step(&[])?[0].as_u64(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cell;
+pub mod error;
+pub mod gate;
+pub mod netlist;
+pub mod sim;
+pub mod stats;
+pub mod value;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::cell::{Cell, CombOp, Register, Signal, SignalId};
+    pub use crate::error::{NetlistError, Result};
+    pub use crate::gate::{bit_blast, BitBlasted};
+    pub use crate::netlist::{Driver, Netlist};
+    pub use crate::sim::{random_stimuli, traces_equal, Simulator};
+    pub use crate::stats::{stats, Stats};
+    pub use crate::value::BitVec;
+}
+
+pub use cell::{Cell, CombOp, Register, Signal, SignalId};
+pub use error::NetlistError;
+pub use netlist::Netlist;
+pub use sim::Simulator;
+pub use value::BitVec;

@@ -1,0 +1,616 @@
+//! The synchronous netlist data structure and its builder API.
+//!
+//! A [`Netlist`] is a synchronous circuit: primary inputs, primary outputs,
+//! combinational cells and registers. The structure corresponds directly to
+//! the circuits manipulated by the paper — a combinational part plus a bank
+//! of registers with initial values — and is the common representation used
+//! by the conventional retiming heuristics (`hash-retiming`), the formal
+//! synthesis procedure (`hash-core`), the verification baselines
+//! (`hash-equiv`) and the benchmark generators (`hash-circuits`).
+
+use crate::cell::{Cell, CombOp, Register, Signal, SignalId};
+use crate::error::{NetlistError, Result};
+use crate::value::BitVec;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Who drives a signal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Driver {
+    /// The signal is a primary input.
+    Input,
+    /// The signal is driven by the cell with this index.
+    Cell(usize),
+    /// The signal is the output of the register with this index.
+    Register(usize),
+}
+
+/// A synchronous netlist.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    name: String,
+    signals: Vec<Signal>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+    cells: Vec<Cell>,
+    registers: Vec<Register>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            signals: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            cells: Vec::new(),
+            registers: Vec::new(),
+        }
+    }
+
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the netlist.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    // -- Construction --------------------------------------------------------
+
+    /// Adds an internal signal and returns its id.
+    pub fn add_signal(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        let id = SignalId(self.signals.len() as u32);
+        self.signals.push(Signal {
+            name: name.into(),
+            width,
+        });
+        id
+    }
+
+    /// Adds a primary input signal and returns its id.
+    pub fn add_input(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        let id = self.add_signal(name, width);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Marks an existing signal as a primary output.
+    pub fn mark_output(&mut self, id: SignalId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Adds a combinational cell driving an existing signal.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a signal id is unknown or the widths/arity do not fit.
+    pub fn add_cell(&mut self, op: CombOp, inputs: Vec<SignalId>, output: SignalId) -> Result<()> {
+        let in_widths: Vec<u32> = inputs
+            .iter()
+            .map(|id| self.width(*id))
+            .collect::<Result<_>>()?;
+        let out_width = op.output_width(&in_widths)?;
+        let actual = self.width(output)?;
+        if actual != out_width {
+            return Err(NetlistError::WidthMismatch {
+                context: format!("output of {op}"),
+                expected: out_width,
+                found: actual,
+            });
+        }
+        self.cells.push(Cell { op, inputs, output });
+        Ok(())
+    }
+
+    /// Adds a combinational cell, creating its output signal with the
+    /// inferred width, and returns the new signal id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a signal id is unknown or the widths/arity do not fit.
+    pub fn cell(
+        &mut self,
+        op: CombOp,
+        inputs: &[SignalId],
+        name: impl Into<String>,
+    ) -> Result<SignalId> {
+        let in_widths: Vec<u32> = inputs
+            .iter()
+            .map(|id| self.width(*id))
+            .collect::<Result<_>>()?;
+        let out_width = op.output_width(&in_widths)?;
+        let out = self.add_signal(name, out_width);
+        self.cells.push(Cell {
+            op,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        Ok(out)
+    }
+
+    /// Adds a register with data input `input`, initial value `init`, and a
+    /// freshly created output signal which is returned.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input id is unknown or the initial value width differs.
+    pub fn register(
+        &mut self,
+        input: SignalId,
+        init: BitVec,
+        name: impl Into<String>,
+    ) -> Result<SignalId> {
+        let w = self.width(input)?;
+        if w != init.width() {
+            return Err(NetlistError::WidthMismatch {
+                context: "register initial value".into(),
+                expected: w,
+                found: init.width(),
+            });
+        }
+        let out = self.add_signal(name, w);
+        self.registers.push(Register {
+            input,
+            output: out,
+            init,
+        });
+        Ok(out)
+    }
+
+    /// Adds a register between two existing signals.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either id is unknown or the widths differ.
+    pub fn add_register(&mut self, input: SignalId, output: SignalId, init: BitVec) -> Result<()> {
+        let wi = self.width(input)?;
+        let wo = self.width(output)?;
+        if wi != wo || wi != init.width() {
+            return Err(NetlistError::WidthMismatch {
+                context: "register".into(),
+                expected: wi,
+                found: if wi != wo { wo } else { init.width() },
+            });
+        }
+        self.registers.push(Register {
+            input,
+            output,
+            init,
+        });
+        Ok(())
+    }
+
+    // -- Convenience cell constructors ---------------------------------------
+
+    /// Adds a constant cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn constant(&mut self, value: BitVec, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::Const(value), &[], name)
+    }
+
+    /// Adds a bitwise NOT cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn not(&mut self, a: SignalId, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::Not, &[a], name)
+    }
+
+    /// Adds a bitwise AND cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn and(&mut self, a: SignalId, b: SignalId, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::And, &[a, b], name)
+    }
+
+    /// Adds a bitwise OR cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn or(&mut self, a: SignalId, b: SignalId, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::Or, &[a, b], name)
+    }
+
+    /// Adds a bitwise XOR cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn xor(&mut self, a: SignalId, b: SignalId, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::Xor, &[a, b], name)
+    }
+
+    /// Adds an adder cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn add(&mut self, a: SignalId, b: SignalId, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::Add, &[a, b], name)
+    }
+
+    /// Adds an incrementer cell (the paper's `+1` component).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn inc(&mut self, a: SignalId, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::Inc, &[a], name)
+    }
+
+    /// Adds an equality comparator cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn eq(&mut self, a: SignalId, b: SignalId, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::Eq, &[a, b], name)
+    }
+
+    /// Adds an unsigned greater-or-equal comparator cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn ge(&mut self, a: SignalId, b: SignalId, name: impl Into<String>) -> Result<SignalId> {
+        self.cell(CombOp::Ge, &[a, b], name)
+    }
+
+    /// Adds a two-way multiplexer cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn mux(
+        &mut self,
+        sel: SignalId,
+        a: SignalId,
+        b: SignalId,
+        name: impl Into<String>,
+    ) -> Result<SignalId> {
+        self.cell(CombOp::Mux, &[sel, a, b], name)
+    }
+
+    // -- Accessors ------------------------------------------------------------
+
+    /// The signals of the netlist.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// A signal by id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id does not belong to this netlist.
+    pub fn signal(&self, id: SignalId) -> Result<&Signal> {
+        self.signals
+            .get(id.index())
+            .ok_or(NetlistError::UnknownSignal { id: id.index() })
+    }
+
+    /// The width of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id does not belong to this netlist.
+    pub fn width(&self, id: SignalId) -> Result<u32> {
+        Ok(self.signal(id)?.width)
+    }
+
+    /// Finds a signal by name.
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SignalId(i as u32))
+    }
+
+    /// The primary inputs.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// The primary outputs.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// The combinational cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The registers.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Iterator over all signal ids.
+    pub fn signal_ids(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.signals.len() as u32).map(SignalId)
+    }
+
+    /// Whether every cell belongs to the gate-level subset and every signal
+    /// is one bit wide.
+    pub fn is_gate_level(&self) -> bool {
+        self.signals.iter().all(|s| s.width == 1)
+            && self.cells.iter().all(|c| c.op.is_gate_level_op())
+    }
+
+    // -- Validation and analysis ----------------------------------------------
+
+    /// Computes the driver of every signal.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a signal has several drivers or a referenced id is unknown.
+    pub fn drivers(&self) -> Result<Vec<Option<Driver>>> {
+        let mut drivers: Vec<Option<Driver>> = vec![None; self.signals.len()];
+        let mut set = |id: SignalId, d: Driver, signals: &[Signal]| -> Result<()> {
+            let slot = drivers
+                .get_mut(id.index())
+                .ok_or(NetlistError::UnknownSignal { id: id.index() })?;
+            if slot.is_some() {
+                return Err(NetlistError::MultipleDrivers {
+                    signal: signals[id.index()].name.clone(),
+                });
+            }
+            *slot = Some(d);
+            Ok(())
+        };
+        for id in &self.inputs {
+            set(*id, Driver::Input, &self.signals)?;
+        }
+        for (i, c) in self.cells.iter().enumerate() {
+            set(c.output, Driver::Cell(i), &self.signals)?;
+        }
+        for (i, r) in self.registers.iter().enumerate() {
+            set(r.output, Driver::Register(i), &self.signals)?;
+        }
+        Ok(drivers)
+    }
+
+    /// Validates the netlist: every signal has exactly one driver, every
+    /// referenced id exists, widths fit, and the combinational part is
+    /// acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found.
+    pub fn validate(&self) -> Result<()> {
+        let drivers = self.drivers()?;
+        for (i, d) in drivers.iter().enumerate() {
+            if d.is_none() {
+                return Err(NetlistError::Undriven {
+                    signal: self.signals[i].name.clone(),
+                });
+            }
+        }
+        // Check referenced ids and widths.
+        for c in &self.cells {
+            let widths: Vec<u32> = c
+                .inputs
+                .iter()
+                .map(|id| self.width(*id))
+                .collect::<Result<_>>()?;
+            let out = c.op.output_width(&widths)?;
+            if out != self.width(c.output)? {
+                return Err(NetlistError::WidthMismatch {
+                    context: format!("cell {} output", c.op),
+                    expected: out,
+                    found: self.width(c.output)?,
+                });
+            }
+        }
+        for r in &self.registers {
+            let wi = self.width(r.input)?;
+            if wi != self.width(r.output)? || wi != r.init.width() {
+                return Err(NetlistError::WidthMismatch {
+                    context: "register".into(),
+                    expected: wi,
+                    found: r.init.width(),
+                });
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// A topological order of the combinational cells (cell indices): each
+    /// cell appears after all cells driving its inputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the combinational part contains a cycle.
+    pub fn topo_order(&self) -> Result<Vec<usize>> {
+        // Map from signal to driving cell (registers and inputs are sources).
+        let mut producer: BTreeMap<usize, usize> = BTreeMap::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            producer.insert(c.output.index(), i);
+        }
+        // Dependency counts between cells.
+        let mut deps: Vec<usize> = vec![0; self.cells.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.cells.len()];
+        for (i, c) in self.cells.iter().enumerate() {
+            for inp in &c.inputs {
+                if let Some(&p) = producer.get(&inp.index()) {
+                    deps[i] += 1;
+                    dependents[p].push(i);
+                }
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..self.cells.len()).filter(|i| deps[*i] == 0).collect();
+        let mut order = Vec::with_capacity(self.cells.len());
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &d in &dependents[i] {
+                deps[d] -= 1;
+                if deps[d] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        if order.len() != self.cells.len() {
+            let blocked = (0..self.cells.len())
+                .find(|i| deps[*i] > 0)
+                .expect("a blocked cell exists when the order is incomplete");
+            return Err(NetlistError::CombinationalCycle {
+                signal: self.signals[self.cells[blocked].output.index()].name.clone(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// The set of cell indices in the transitive fan-in cone of the given
+    /// signals, stopping at register outputs and primary inputs.
+    pub fn comb_cone(&self, roots: &[SignalId]) -> Vec<usize> {
+        let mut producer: BTreeMap<usize, usize> = BTreeMap::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            producer.insert(c.output.index(), i);
+        }
+        let mut seen = vec![false; self.cells.len()];
+        let mut stack: Vec<SignalId> = roots.to_vec();
+        while let Some(s) = stack.pop() {
+            if let Some(&ci) = producer.get(&s.index()) {
+                if !seen[ci] {
+                    seen[ci] = true;
+                    stack.extend(self.cells[ci].inputs.iter().copied());
+                }
+            }
+        }
+        (0..self.cells.len()).filter(|i| seen[*i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_counter(width: u32) -> Netlist {
+        // A counter: q' = q + 1, output q.
+        let mut n = Netlist::new("counter");
+        let q = n.add_signal("q", width);
+        let next = n.inc(q, "next").unwrap();
+        n.add_register(next, q, BitVec::zero(width)).unwrap();
+        n.mark_output(q);
+        n
+    }
+
+    #[test]
+    fn build_and_validate_counter() {
+        let n = simple_counter(4);
+        n.validate().expect("counter is well formed");
+        assert_eq!(n.registers().len(), 1);
+        assert_eq!(n.cells().len(), 1);
+        assert_eq!(n.outputs().len(), 1);
+        assert!(n.find_signal("next").is_some());
+        assert!(n.find_signal("missing").is_none());
+    }
+
+    #[test]
+    fn undriven_and_multiple_drivers_detected() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_signal("a", 4);
+        n.mark_output(a);
+        assert!(matches!(n.validate(), Err(NetlistError::Undriven { .. })));
+
+        let mut m = Netlist::new("bad2");
+        let x = m.add_input("x", 4);
+        let y = m.add_signal("y", 4);
+        m.add_cell(CombOp::Inc, vec![x], y).unwrap();
+        m.add_cell(CombOp::Not, vec![x], y).unwrap();
+        assert!(matches!(
+            m.validate(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn width_checks_on_cells_and_registers() {
+        let mut n = Netlist::new("w");
+        let a = n.add_input("a", 4);
+        let b = n.add_input("b", 8);
+        assert!(n.add(a, b, "sum").is_err());
+        assert!(n.register(a, BitVec::zero(8), "r").is_err());
+        let narrow = n.add_signal("narrow", 2);
+        assert!(n.add_cell(CombOp::Inc, vec![a], narrow).is_err());
+    }
+
+    #[test]
+    fn combinational_cycles_are_detected() {
+        let mut n = Netlist::new("cycle");
+        let a = n.add_signal("a", 1);
+        let b = n.add_signal("b", 1);
+        n.add_cell(CombOp::Not, vec![a], b).unwrap();
+        n.add_cell(CombOp::Not, vec![b], a).unwrap();
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn registers_break_cycles() {
+        let n = simple_counter(4);
+        // The feedback loop goes through the register, so there is no
+        // combinational cycle.
+        assert!(n.topo_order().is_ok());
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut n = Netlist::new("topo");
+        let a = n.add_input("a", 4);
+        let b = n.add_input("b", 4);
+        let s = n.add(a, b, "s").unwrap();
+        let t = n.inc(s, "t").unwrap();
+        let u = n.xor(t, a, "u").unwrap();
+        n.mark_output(u);
+        let order = n.topo_order().unwrap();
+        let pos = |ci: usize| order.iter().position(|x| *x == ci).unwrap();
+        assert!(pos(0) < pos(1), "adder before incrementer");
+        assert!(pos(1) < pos(2), "incrementer before xor");
+    }
+
+    #[test]
+    fn comb_cone_stops_at_registers() {
+        let mut n = Netlist::new("cone");
+        let a = n.add_input("a", 4);
+        let inc = n.inc(a, "inc").unwrap();
+        let q = n.register(inc, BitVec::zero(4), "q").unwrap();
+        let out = n.inc(q, "out").unwrap();
+        n.mark_output(out);
+        let cone = n.comb_cone(&[out]);
+        assert_eq!(cone.len(), 1, "the cone must stop at the register output");
+        let cone_all = n.comb_cone(&[out, inc]);
+        assert_eq!(cone_all.len(), 2);
+    }
+
+    #[test]
+    fn gate_level_detection() {
+        let mut n = Netlist::new("g");
+        let a = n.add_input("a", 1);
+        let b = n.add_input("b", 1);
+        let c = n.and(a, b, "c").unwrap();
+        n.mark_output(c);
+        assert!(n.is_gate_level());
+        let mut m = Netlist::new("rt");
+        let x = m.add_input("x", 4);
+        let y = m.inc(x, "y").unwrap();
+        m.mark_output(y);
+        assert!(!m.is_gate_level());
+    }
+}

@@ -1,0 +1,323 @@
+//! Cycle-accurate simulation of synchronous netlists.
+//!
+//! The simulator is the executable semantics against which everything else
+//! in the reproduction is cross-checked: the conventional retiming of
+//! `hash-retiming`, the formal retiming of `hash-core` (whose theorems are
+//! additionally validated by simulating both sides) and the verification
+//! baselines of `hash-equiv`.
+
+use crate::cell::SignalId;
+use crate::error::{NetlistError, Result};
+use crate::netlist::Netlist;
+use crate::value::BitVec;
+use std::collections::BTreeMap;
+
+/// A cycle-accurate simulator for a [`Netlist`].
+#[derive(Clone, Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<usize>,
+    /// Current register values, indexed like `netlist.registers()`.
+    state: Vec<BitVec>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator, validating the netlist and computing the
+    /// evaluation order. Registers start at their initial values.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist is structurally invalid.
+    pub fn new(netlist: &'a Netlist) -> Result<Simulator<'a>> {
+        netlist.validate()?;
+        let order = netlist.topo_order()?;
+        let state = netlist.registers().iter().map(|r| r.init).collect();
+        Ok(Simulator {
+            netlist,
+            order,
+            state,
+        })
+    }
+
+    /// Resets all registers to their initial values.
+    pub fn reset(&mut self) {
+        self.state = self.netlist.registers().iter().map(|r| r.init).collect();
+    }
+
+    /// The current register values (in register order).
+    pub fn state(&self) -> &[BitVec] {
+        &self.state
+    }
+
+    /// Overrides the current register values (used by reachability-style
+    /// analyses). The values must match the register widths.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a count or width mismatch.
+    pub fn set_state(&mut self, state: &[BitVec]) -> Result<()> {
+        if state.len() != self.state.len() {
+            return Err(NetlistError::BadStimulus {
+                message: format!(
+                    "expected {} register values, got {}",
+                    self.state.len(),
+                    state.len()
+                ),
+            });
+        }
+        for (r, v) in self.netlist.registers().iter().zip(state.iter()) {
+            if r.init.width() != v.width() {
+                return Err(NetlistError::BadStimulus {
+                    message: "register value width mismatch".to_string(),
+                });
+            }
+        }
+        self.state = state.to_vec();
+        Ok(())
+    }
+
+    /// Evaluates all signal values for the current state and the given
+    /// primary-input values (in `netlist.inputs()` order) without advancing
+    /// the state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the inputs do not match the interface.
+    pub fn evaluate(&self, inputs: &[BitVec]) -> Result<BTreeMap<SignalId, BitVec>> {
+        let n = self.netlist;
+        if inputs.len() != n.inputs().len() {
+            return Err(NetlistError::BadStimulus {
+                message: format!(
+                    "expected {} input values, got {}",
+                    n.inputs().len(),
+                    inputs.len()
+                ),
+            });
+        }
+        let mut values: BTreeMap<SignalId, BitVec> = BTreeMap::new();
+        for (id, v) in n.inputs().iter().zip(inputs.iter()) {
+            if n.width(*id)? != v.width() {
+                return Err(NetlistError::BadStimulus {
+                    message: format!(
+                        "input {} expects width {}, got {}",
+                        n.signal(*id)?.name,
+                        n.width(*id)?,
+                        v.width()
+                    ),
+                });
+            }
+            values.insert(*id, *v);
+        }
+        for (r, v) in n.registers().iter().zip(self.state.iter()) {
+            values.insert(r.output, *v);
+        }
+        for &ci in &self.order {
+            let cell = &n.cells()[ci];
+            let operands: Vec<BitVec> = cell
+                .inputs
+                .iter()
+                .map(|id| {
+                    values.get(id).copied().ok_or(NetlistError::Undriven {
+                        signal: n.signals()[id.index()].name.clone(),
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let out = cell.op.eval(&operands)?;
+            values.insert(cell.output, out);
+        }
+        Ok(values)
+    }
+
+    /// Performs one clock cycle: evaluates the combinational logic with the
+    /// given inputs, returns the primary-output values, and advances the
+    /// registers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the inputs do not match the interface.
+    pub fn step(&mut self, inputs: &[BitVec]) -> Result<Vec<BitVec>> {
+        let values = self.evaluate(inputs)?;
+        let outputs = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|id| {
+                values.get(id).copied().ok_or(NetlistError::Undriven {
+                    signal: self.netlist.signals()[id.index()].name.clone(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let next_state = self
+            .netlist
+            .registers()
+            .iter()
+            .map(|r| {
+                values.get(&r.input).copied().ok_or(NetlistError::Undriven {
+                    signal: self.netlist.signals()[r.input.index()].name.clone(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.state = next_state;
+        Ok(outputs)
+    }
+
+    /// Runs a sequence of input vectors from the initial state and returns
+    /// the output trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any stimulus vector does not match the interface.
+    pub fn run(&mut self, stimuli: &[Vec<BitVec>]) -> Result<Vec<Vec<BitVec>>> {
+        self.reset();
+        stimuli.iter().map(|inp| self.step(inp)).collect()
+    }
+}
+
+/// Checks that two netlists with the same interface produce identical output
+/// traces on the given stimuli, starting from their initial states.
+///
+/// This is the *simulation-based validation* the paper contrasts with formal
+/// methods in Section II; it is used in the test-suite to cross-check the
+/// formal results.
+///
+/// # Errors
+///
+/// Fails if a netlist is invalid or the stimuli do not match an interface.
+pub fn traces_equal(a: &Netlist, b: &Netlist, stimuli: &[Vec<BitVec>]) -> Result<bool> {
+    let mut sa = Simulator::new(a)?;
+    let mut sb = Simulator::new(b)?;
+    let ta = sa.run(stimuli)?;
+    let tb = sb.run(stimuli)?;
+    Ok(ta == tb)
+}
+
+/// Generates a deterministic pseudo-random stimulus sequence for a netlist
+/// (used by tests and by the simulation-based baseline).
+pub fn random_stimuli(netlist: &Netlist, cycles: usize, seed: u64) -> Vec<Vec<BitVec>> {
+    // A small xorshift generator keeps this crate dependency-free.
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..cycles)
+        .map(|_| {
+            netlist
+                .inputs()
+                .iter()
+                .map(|id| {
+                    let w = netlist.width(*id).unwrap_or(1);
+                    BitVec::truncate(next(), w)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BitVec;
+
+    fn counter(width: u32, init: u64) -> Netlist {
+        let mut n = Netlist::new("counter");
+        let q = n.add_signal("q", width);
+        let next = n.inc(q, "next").unwrap();
+        n.add_register(next, q, BitVec::new(init, width).unwrap())
+            .unwrap();
+        n.mark_output(q);
+        n
+    }
+
+    #[test]
+    fn counter_counts() {
+        let n = counter(4, 0);
+        let mut sim = Simulator::new(&n).unwrap();
+        let outs: Vec<u64> = (0..20)
+            .map(|_| sim.step(&[]).unwrap()[0].as_u64())
+            .collect();
+        let expected: Vec<u64> = (0..20).map(|i| i % 16).collect();
+        assert_eq!(outs, expected);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let n = counter(4, 7);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[]).unwrap();
+        sim.step(&[]).unwrap();
+        assert_eq!(sim.state()[0].as_u64(), 9);
+        sim.reset();
+        assert_eq!(sim.state()[0].as_u64(), 7);
+    }
+
+    #[test]
+    fn step_checks_inputs() {
+        let mut n = Netlist::new("io");
+        let a = n.add_input("a", 4);
+        let b = n.inc(a, "b").unwrap();
+        n.mark_output(b);
+        let mut sim = Simulator::new(&n).unwrap();
+        assert!(sim.step(&[]).is_err());
+        assert!(sim.step(&[BitVec::zero(8)]).is_err());
+        let out = sim.step(&[BitVec::new(3, 4).unwrap()]).unwrap();
+        assert_eq!(out[0].as_u64(), 4);
+    }
+
+    #[test]
+    fn combinational_mux_circuit() {
+        // out = if a >= b then a + 1 else b
+        let mut n = Netlist::new("maxinc");
+        let a = n.add_input("a", 8);
+        let b = n.add_input("b", 8);
+        let cmp = n.ge(a, b, "cmp").unwrap();
+        let ai = n.inc(a, "ai").unwrap();
+        let out = n.mux(cmp, ai, b, "out").unwrap();
+        n.mark_output(out);
+        let mut sim = Simulator::new(&n).unwrap();
+        let o1 = sim
+            .step(&[BitVec::new(5, 8).unwrap(), BitVec::new(3, 8).unwrap()])
+            .unwrap();
+        assert_eq!(o1[0].as_u64(), 6);
+        let o2 = sim
+            .step(&[BitVec::new(2, 8).unwrap(), BitVec::new(9, 8).unwrap()])
+            .unwrap();
+        assert_eq!(o2[0].as_u64(), 9);
+    }
+
+    #[test]
+    fn set_state_validation() {
+        let n = counter(4, 0);
+        let mut sim = Simulator::new(&n).unwrap();
+        assert!(sim.set_state(&[]).is_err());
+        assert!(sim.set_state(&[BitVec::zero(8)]).is_err());
+        sim.set_state(&[BitVec::new(12, 4).unwrap()]).unwrap();
+        assert_eq!(sim.step(&[]).unwrap()[0].as_u64(), 12);
+    }
+
+    #[test]
+    fn traces_equal_detects_difference() {
+        let a = counter(4, 0);
+        let b = counter(4, 0);
+        let c = counter(4, 1);
+        let stim: Vec<Vec<BitVec>> = (0..10).map(|_| Vec::new()).collect();
+        assert!(traces_equal(&a, &b, &stim).unwrap());
+        assert!(!traces_equal(&a, &c, &stim).unwrap());
+    }
+
+    #[test]
+    fn random_stimuli_are_deterministic() {
+        let mut n = Netlist::new("io");
+        let a = n.add_input("a", 6);
+        let b = n.inc(a, "b").unwrap();
+        n.mark_output(b);
+        let s1 = random_stimuli(&n, 16, 42);
+        let s2 = random_stimuli(&n, 16, 42);
+        let s3 = random_stimuli(&n, 16, 43);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        assert!(s1.iter().all(|v| v[0].width() == 6));
+    }
+}

@@ -1,0 +1,104 @@
+//! Circuit statistics: the flip-flop and gate counts reported in the
+//! paper's experiment tables.
+
+use crate::netlist::Netlist;
+use std::fmt;
+
+/// Size statistics of a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stats {
+    /// The netlist name.
+    pub name: String,
+    /// Number of primary input bits.
+    pub input_bits: usize,
+    /// Number of primary output bits.
+    pub output_bits: usize,
+    /// Number of flip-flops (register bits).
+    pub flip_flops: usize,
+    /// Number of RT-level cells.
+    pub cells: usize,
+    /// Estimated number of two-input gates after bit-blasting.
+    pub gate_estimate: usize,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} flip-flops, {} cells (~{} gates)",
+            self.name, self.input_bits, self.output_bits, self.flip_flops, self.cells,
+            self.gate_estimate
+        )
+    }
+}
+
+/// Computes the size statistics of a netlist.
+pub fn stats(netlist: &Netlist) -> Stats {
+    let bit_count = |ids: &[crate::cell::SignalId]| {
+        ids.iter()
+            .map(|id| netlist.width(*id).unwrap_or(0) as usize)
+            .sum()
+    };
+    let flip_flops = netlist
+        .registers()
+        .iter()
+        .map(|r| r.init.width() as usize)
+        .sum();
+    let gate_estimate = netlist
+        .cells()
+        .iter()
+        .map(|c| {
+            let w = c
+                .inputs
+                .first()
+                .and_then(|id| netlist.width(*id).ok())
+                .unwrap_or_else(|| netlist.width(c.output).unwrap_or(1));
+            c.op.gate_cost(w)
+        })
+        .sum();
+    Stats {
+        name: netlist.name().to_string(),
+        input_bits: bit_count(netlist.inputs()),
+        output_bits: bit_count(netlist.outputs()),
+        flip_flops,
+        cells: netlist.cells().len(),
+        gate_estimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BitVec;
+
+    #[test]
+    fn stats_count_bits_not_signals() {
+        let mut n = Netlist::new("s");
+        let a = n.add_input("a", 8);
+        let b = n.add_input("b", 8);
+        let s = n.add(a, b, "s").unwrap();
+        let q = n.register(s, BitVec::zero(8), "q").unwrap();
+        n.mark_output(q);
+        let st = stats(&n);
+        assert_eq!(st.input_bits, 16);
+        assert_eq!(st.output_bits, 8);
+        assert_eq!(st.flip_flops, 8);
+        assert_eq!(st.cells, 1);
+        assert_eq!(st.gate_estimate, 40);
+        assert!(st.to_string().contains("flip-flops"));
+    }
+
+    #[test]
+    fn gate_level_stats_match_structure() {
+        let mut n = Netlist::new("g");
+        let a = n.add_input("a", 1);
+        let b = n.add_input("b", 1);
+        let c = n.and(a, b, "c").unwrap();
+        let d = n.not(c, "d").unwrap();
+        n.mark_output(d);
+        let st = stats(&n);
+        assert_eq!(st.cells, 2);
+        assert_eq!(st.gate_estimate, 2);
+        assert_eq!(st.flip_flops, 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Bit-vector values used by the simulator and by initial register states.
+//!
+//! Values are fixed-width two's-complement bit vectors of 1 to 64 bits.
+//! All arithmetic wraps around modulo `2^width`, matching the semantics of
+//! the RT-level operators in the paper's example circuit (`+1`, comparator,
+//! multiplexer).
+
+use crate::error::{NetlistError, Result};
+use std::fmt;
+
+/// The maximum supported bit-vector width.
+pub const MAX_WIDTH: u32 = 64;
+
+/// A fixed-width bit-vector value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BitVec {
+    width: u32,
+    bits: u64,
+}
+
+impl BitVec {
+    /// Creates a bit-vector of the given width holding `value`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the width is 0 or above [`MAX_WIDTH`], or the value does not
+    /// fit.
+    pub fn new(value: u64, width: u32) -> Result<BitVec> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(NetlistError::UnsupportedWidth { width });
+        }
+        if width < 64 && value >> width != 0 {
+            return Err(NetlistError::ValueOutOfRange { value, width });
+        }
+        Ok(BitVec { width, bits: value })
+    }
+
+    /// The all-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is invalid (0 or > 64).
+    pub fn zero(width: u32) -> BitVec {
+        BitVec::new(0, width).expect("valid width")
+    }
+
+    /// The value 1 of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is invalid (0 or > 64).
+    pub fn one(width: u32) -> BitVec {
+        BitVec::new(1, width).expect("valid width")
+    }
+
+    /// The all-ones value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is invalid (0 or > 64).
+    pub fn ones(width: u32) -> BitVec {
+        BitVec {
+            width,
+            bits: mask(width),
+        }
+    }
+
+    /// Creates a value by truncating `value` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is invalid (0 or > 64).
+    pub fn truncate(value: u64, width: u32) -> BitVec {
+        assert!(width >= 1 && width <= MAX_WIDTH, "invalid width {width}");
+        BitVec {
+            width,
+            bits: value & mask(width),
+        }
+    }
+
+    /// A single-bit value.
+    pub fn bit(b: bool) -> BitVec {
+        BitVec {
+            width: 1,
+            bits: u64::from(b),
+        }
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The value as an unsigned integer.
+    pub fn as_u64(&self) -> u64 {
+        self.bits
+    }
+
+    /// Whether this is a single-bit value equal to 1.
+    pub fn is_true(&self) -> bool {
+        self.width == 1 && self.bits == 1
+    }
+
+    /// The value of bit `i` (little endian, bit 0 is the LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit_at(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range");
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Addition modulo `2^width`. Both operands must have the same width.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch.
+    pub fn add(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_same_width(other, "add")?;
+        Ok(BitVec::truncate(self.bits.wrapping_add(other.bits), self.width))
+    }
+
+    /// Subtraction modulo `2^width`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch.
+    pub fn sub(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_same_width(other, "sub")?;
+        Ok(BitVec::truncate(self.bits.wrapping_sub(other.bits), self.width))
+    }
+
+    /// Increment modulo `2^width` (the paper's `+1` component).
+    pub fn inc(&self) -> BitVec {
+        BitVec::truncate(self.bits.wrapping_add(1), self.width)
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch.
+    pub fn and(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_same_width(other, "and")?;
+        Ok(BitVec::truncate(self.bits & other.bits, self.width))
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch.
+    pub fn or(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_same_width(other, "or")?;
+        Ok(BitVec::truncate(self.bits | other.bits, self.width))
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch.
+    pub fn xor(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_same_width(other, "xor")?;
+        Ok(BitVec::truncate(self.bits ^ other.bits, self.width))
+    }
+
+    /// Bitwise negation.
+    pub fn not(&self) -> BitVec {
+        BitVec::truncate(!self.bits, self.width)
+    }
+
+    /// Equality comparison producing a single-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch.
+    pub fn eq_bit(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_same_width(other, "eq")?;
+        Ok(BitVec::bit(self.bits == other.bits))
+    }
+
+    /// Unsigned less-than comparison producing a single-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch.
+    pub fn lt_bit(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_same_width(other, "lt")?;
+        Ok(BitVec::bit(self.bits < other.bits))
+    }
+
+    /// Unsigned greater-or-equal comparison producing a single-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch.
+    pub fn ge_bit(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_same_width(other, "ge")?;
+        Ok(BitVec::bit(self.bits >= other.bits))
+    }
+
+    /// Two-way multiplexer: returns `a` when `sel` is 1, `b` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sel` is not a single bit or `a`/`b` widths differ.
+    pub fn mux(sel: &BitVec, a: &BitVec, b: &BitVec) -> Result<BitVec> {
+        if sel.width != 1 {
+            return Err(NetlistError::WidthMismatch {
+                context: "mux select".into(),
+                expected: 1,
+                found: sel.width,
+            });
+        }
+        a.check_same_width(b, "mux")?;
+        Ok(if sel.is_true() { *a } else { *b })
+    }
+
+    /// Concatenation: `self` becomes the high bits, `low` the low bits.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the combined width exceeds [`MAX_WIDTH`].
+    pub fn concat(&self, low: &BitVec) -> Result<BitVec> {
+        let width = self.width + low.width;
+        if width > MAX_WIDTH {
+            return Err(NetlistError::UnsupportedWidth { width });
+        }
+        Ok(BitVec {
+            width,
+            bits: (self.bits << low.width) | low.bits,
+        })
+    }
+
+    /// Bit slice `[hi:lo]` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is empty or out of bounds.
+    pub fn slice(&self, hi: u32, lo: u32) -> Result<BitVec> {
+        if lo > hi || hi >= self.width {
+            return Err(NetlistError::Structure {
+                message: format!("invalid slice [{hi}:{lo}] of a {}-bit value", self.width),
+            });
+        }
+        let width = hi - lo + 1;
+        Ok(BitVec::truncate(self.bits >> lo, width))
+    }
+
+    /// Shift left by a constant amount (zeros shifted in).
+    pub fn shl(&self, amount: u32) -> BitVec {
+        if amount >= self.width {
+            BitVec::zero(self.width)
+        } else {
+            BitVec::truncate(self.bits << amount, self.width)
+        }
+    }
+
+    /// Logical shift right by a constant amount.
+    pub fn shr(&self, amount: u32) -> BitVec {
+        if amount >= self.width {
+            BitVec::zero(self.width)
+        } else {
+            BitVec::truncate(self.bits >> amount, self.width)
+        }
+    }
+
+    /// Zero extension to a larger width.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the new width is smaller than the current width or invalid.
+    pub fn zero_extend(&self, width: u32) -> Result<BitVec> {
+        if width < self.width {
+            return Err(NetlistError::WidthMismatch {
+                context: "zero_extend".into(),
+                expected: self.width,
+                found: width,
+            });
+        }
+        BitVec::new(self.bits, width)
+    }
+
+    fn check_same_width(&self, other: &BitVec, context: &str) -> Result<()> {
+        if self.width != other.width {
+            Err(NetlistError::WidthMismatch {
+                context: context.into(),
+                expected: self.width,
+                found: other.width,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'d{}", self.width, self.bits)
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.bits)
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.width as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_width_and_range() {
+        assert!(BitVec::new(0, 0).is_err());
+        assert!(BitVec::new(0, 65).is_err());
+        assert!(BitVec::new(16, 4).is_err());
+        assert!(BitVec::new(15, 4).is_ok());
+        assert_eq!(BitVec::new(u64::MAX, 64).unwrap().as_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn arithmetic_wraps_around() {
+        let a = BitVec::new(15, 4).unwrap();
+        let one = BitVec::one(4);
+        assert_eq!(a.add(&one).unwrap().as_u64(), 0);
+        assert_eq!(a.inc().as_u64(), 0);
+        assert_eq!(BitVec::zero(4).sub(&one).unwrap().as_u64(), 15);
+        assert_eq!(BitVec::new(7, 4).unwrap().inc().as_u64(), 8);
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let a = BitVec::zero(4);
+        let b = BitVec::zero(8);
+        assert!(a.add(&b).is_err());
+        assert!(a.and(&b).is_err());
+        assert!(a.eq_bit(&b).is_err());
+    }
+
+    #[test]
+    fn bitwise_and_comparisons() {
+        let a = BitVec::new(0b1100, 4).unwrap();
+        let b = BitVec::new(0b1010, 4).unwrap();
+        assert_eq!(a.and(&b).unwrap().as_u64(), 0b1000);
+        assert_eq!(a.or(&b).unwrap().as_u64(), 0b1110);
+        assert_eq!(a.xor(&b).unwrap().as_u64(), 0b0110);
+        assert_eq!(a.not().as_u64(), 0b0011);
+        assert!(b.lt_bit(&a).unwrap().is_true());
+        assert!(!a.lt_bit(&b).unwrap().is_true());
+        assert!(a.ge_bit(&b).unwrap().is_true());
+        assert!(a.eq_bit(&a).unwrap().is_true());
+    }
+
+    #[test]
+    fn mux_selects_correct_branch() {
+        let a = BitVec::new(3, 4).unwrap();
+        let b = BitVec::new(9, 4).unwrap();
+        assert_eq!(BitVec::mux(&BitVec::bit(true), &a, &b).unwrap(), a);
+        assert_eq!(BitVec::mux(&BitVec::bit(false), &a, &b).unwrap(), b);
+        assert!(BitVec::mux(&BitVec::zero(2), &a, &b).is_err());
+        assert!(BitVec::mux(&BitVec::bit(true), &a, &BitVec::zero(2)).is_err());
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let hi = BitVec::new(0b101, 3).unwrap();
+        let lo = BitVec::new(0b01, 2).unwrap();
+        let c = hi.concat(&lo).unwrap();
+        assert_eq!(c.width(), 5);
+        assert_eq!(c.as_u64(), 0b10101);
+        assert_eq!(c.slice(4, 2).unwrap(), hi);
+        assert_eq!(c.slice(1, 0).unwrap(), lo);
+        assert!(c.slice(5, 0).is_err());
+        assert!(c.slice(0, 1).is_err());
+    }
+
+    #[test]
+    fn shifts_and_extension() {
+        let a = BitVec::new(0b0011, 4).unwrap();
+        assert_eq!(a.shl(1).as_u64(), 0b0110);
+        assert_eq!(a.shl(4).as_u64(), 0);
+        assert_eq!(a.shr(1).as_u64(), 0b0001);
+        assert_eq!(a.zero_extend(8).unwrap().width(), 8);
+        assert!(a.zero_extend(2).is_err());
+    }
+
+    #[test]
+    fn bit_access_and_display() {
+        let a = BitVec::new(0b1010, 4).unwrap();
+        assert!(!a.bit_at(0));
+        assert!(a.bit_at(1));
+        assert_eq!(a.to_string(), "4'd10");
+        assert_eq!(format!("{a:b}"), "1010");
+        assert_eq!(format!("{a:x}"), "a");
+    }
+}

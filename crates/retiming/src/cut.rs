@@ -1,0 +1,204 @@
+//! Cut selection heuristics: deciding which combinational block `f` the
+//! registers are shifted across.
+//!
+//! The paper stresses that this decision "may be performed arbitrarily —
+//! by hand or by some program" and that a wrong decision can never
+//! compromise correctness, only make the transformation fail. The
+//! heuristics here produce the control information consumed by both the
+//! conventional move ([`crate::apply::forward_retime`]) and the formal
+//! synthesis step in `hash-core`.
+
+use crate::apply::{analyze_forward_cut, Cut};
+use hash_netlist::prelude::*;
+use std::collections::BTreeSet;
+
+/// The maximal forward cut: the largest set of cells such that every
+/// external input of the set is a register output and no selected cell
+/// feeds a register it also (transitively) consumes. This is the "f covering
+/// a maximum number of retimable gates, i.e. the worst case for our
+/// approach" used for the paper's experiments.
+pub fn maximal_forward_cut(netlist: &Netlist) -> Cut {
+    let cells = netlist.cells();
+    let reg_outputs: BTreeSet<SignalId> =
+        netlist.registers().iter().map(|r| r.output).collect();
+    let producer: std::collections::BTreeMap<SignalId, usize> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.output, i))
+        .collect();
+    // Grow the cut to a fixed point: a cell joins when each of its inputs is
+    // a register output or the output of a cell already in the cut.
+    let mut in_cut: Vec<bool>;
+    // Shrink: a register that is also consumed outside the cut (or whose
+    // data input comes from the cut, or which feeds a register or a primary
+    // output directly) cannot be shifted, so the cells reading it must leave
+    // the cut; removing a cell may orphan cells downstream of it, so the cut
+    // is re-grown after every shrink round until a fixed point is reached.
+    let mut allowed = vec![true; cells.len()];
+    loop {
+        // Re-grow within the allowed set.
+        let mut grown = vec![false; cells.len()];
+        let mut more = true;
+        while more {
+            more = false;
+            for (i, c) in cells.iter().enumerate() {
+                if grown[i] || !allowed[i] {
+                    continue;
+                }
+                let ok = c.inputs.iter().all(|s| {
+                    reg_outputs.contains(s) || producer.get(s).is_some_and(|j| grown[*j])
+                });
+                if ok {
+                    grown[i] = true;
+                    more = true;
+                }
+            }
+        }
+        in_cut = grown;
+        // Find registers whose constraints are violated and disallow their
+        // readers.
+        let mut shrunk = false;
+        for r in netlist.registers() {
+            let read_by_cut = cells
+                .iter()
+                .enumerate()
+                .any(|(i, c)| in_cut[i] && c.inputs.contains(&r.output));
+            if !read_by_cut {
+                continue;
+            }
+            let read_outside = cells
+                .iter()
+                .enumerate()
+                .any(|(i, c)| !in_cut[i] && c.inputs.contains(&r.output));
+            let feeds_register = netlist.registers().iter().any(|r2| r2.input == r.output);
+            let is_output = netlist.outputs().contains(&r.output);
+            let fed_by_cut = producer
+                .get(&r.input)
+                .is_some_and(|j| in_cut[*j]);
+            if read_outside || feeds_register || is_output {
+                for (i, c) in cells.iter().enumerate() {
+                    if allowed[i] && c.inputs.contains(&r.output) {
+                        allowed[i] = false;
+                        shrunk = true;
+                    }
+                }
+            } else if fed_by_cut {
+                // Feedback through the cut: keeping the reading cells is
+                // usually more profitable, so evict the driving cell instead.
+                if let Some(&j) = producer.get(&r.input) {
+                    if allowed[j] {
+                        allowed[j] = false;
+                        shrunk = true;
+                    }
+                }
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let mut cut = Cut::new(
+        (0..cells.len())
+            .filter(|i| in_cut[*i])
+            .collect::<Vec<_>>(),
+    );
+    // Final safety net: if an unforeseen side condition still fails, drop
+    // cells from the back until the analysis accepts the cut.
+    while !cut.is_empty() && analyze_forward_cut(netlist, &cut).is_err() {
+        cut.cells.pop();
+    }
+    cut
+}
+
+/// All single-cell forward cuts that satisfy the retiming pattern — the
+/// elementary moves a fine-grained retiming is decomposed into.
+pub fn single_cell_cuts(netlist: &Netlist) -> Vec<Cut> {
+    (0..netlist.cells().len())
+        .map(|i| Cut::new(vec![i]))
+        .filter(|c| analyze_forward_cut(netlist, c).is_ok())
+        .collect()
+}
+
+/// A deliberately wrong cut for demonstration and testing: the complement
+/// of the maximal forward cut (the paper's Fig. 4 "false cut"). Returns
+/// `None` when the complement is empty.
+pub fn false_cut(netlist: &Netlist) -> Option<Cut> {
+    let good: BTreeSet<usize> = maximal_forward_cut(netlist).cells.into_iter().collect();
+    let rest: Vec<usize> = (0..netlist.cells().len())
+        .filter(|i| !good.contains(i))
+        .collect();
+    if rest.is_empty() {
+        None
+    } else {
+        Some(Cut::new(rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::forward_retime;
+    use hash_netlist::sim::{random_stimuli, traces_equal};
+
+    fn example() -> Netlist {
+        // a -> [q1] -> +1 \
+        //                  add -> xor(a) -> out
+        // b -> [q2] ------/
+        let mut n = Netlist::new("ex");
+        let a = n.add_input("a", 4);
+        let b = n.add_input("b", 4);
+        let q1 = n.register(a, BitVec::new(1, 4).unwrap(), "q1").unwrap();
+        let q2 = n.register(b, BitVec::new(2, 4).unwrap(), "q2").unwrap();
+        let i = n.inc(q1, "i").unwrap();
+        let s = n.add(i, q2, "s").unwrap();
+        let o = n.xor(s, a, "o").unwrap();
+        n.mark_output(o);
+        n
+    }
+
+    #[test]
+    fn maximal_cut_covers_retimable_cells_only() {
+        let n = example();
+        let cut = maximal_forward_cut(&n);
+        // The incrementer and the adder are retimable; the xor reads the
+        // primary input a and is not.
+        assert_eq!(cut.cells, vec![0, 1]);
+        let retimed = forward_retime(&n, &cut).unwrap();
+        let stim = random_stimuli(&n, 40, 17);
+        assert!(traces_equal(&n, &retimed, &stim).unwrap());
+    }
+
+    #[test]
+    fn single_cell_cuts_are_all_applicable() {
+        let n = example();
+        let cuts = single_cell_cuts(&n);
+        // Only the incrementer qualifies on its own: the adder alone shares
+        // register q1's fan-in? No — the adder reads the incrementer output,
+        // which is not a register, so it does not qualify; the xor reads a.
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].cells, vec![0]);
+        for c in &cuts {
+            let retimed = forward_retime(&n, c).unwrap();
+            let stim = random_stimuli(&n, 30, 5);
+            assert!(traces_equal(&n, &retimed, &stim).unwrap());
+        }
+    }
+
+    #[test]
+    fn false_cut_is_reported_and_rejected() {
+        let n = example();
+        let bad = false_cut(&n).expect("a non-retimable cell exists");
+        assert!(analyze_forward_cut(&n, &bad).is_err());
+    }
+
+    #[test]
+    fn fully_combinational_circuit_has_empty_cut() {
+        let mut n = Netlist::new("comb");
+        let a = n.add_input("a", 2);
+        let b = n.not(a, "b").unwrap();
+        n.mark_output(b);
+        let cut = maximal_forward_cut(&n);
+        assert!(cut.is_empty());
+        assert!(false_cut(&n).is_some());
+    }
+}

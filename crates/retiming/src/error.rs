@@ -1,0 +1,69 @@
+//! Error type for the retiming heuristics.
+
+use hash_netlist::NetlistError;
+use std::fmt;
+
+/// Errors raised by the retiming graph construction, the min-period
+/// algorithm and the netlist-level register moves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetimingError {
+    /// The requested cut does not match the retiming pattern.
+    BadCut {
+        /// Description of the violated side condition.
+        message: String,
+    },
+    /// No legal retiming achieving the requested period exists.
+    Infeasible {
+        /// The requested clock period.
+        period: i64,
+    },
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for RetimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetimingError::BadCut { message } => write!(f, "cut does not match: {message}"),
+            RetimingError::Infeasible { period } => {
+                write!(f, "no retiming achieves clock period {period}")
+            }
+            RetimingError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetimingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetimingError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for RetimingError {
+    fn from(e: NetlistError) -> Self {
+        RetimingError::Netlist(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RetimingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: RetimingError = NetlistError::UnsupportedWidth { width: 0 }.into();
+        assert!(e.to_string().contains("netlist error"));
+        assert!(RetimingError::Infeasible { period: 5 }.to_string().contains('5'));
+        assert!(RetimingError::BadCut {
+            message: "xyz".into()
+        }
+        .to_string()
+        .contains("xyz"));
+    }
+}

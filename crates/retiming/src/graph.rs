@@ -1,0 +1,536 @@
+//! The Leiserson–Saxe retiming graph and the classical min-period retiming
+//! algorithm.
+//!
+//! This module is the "conventional synthesis heuristic" of the paper: an
+//! ordinary, *untrusted* retiming engine in the tradition of
+//! Leiserson/Rose/Saxe ("Optimizing synchronous circuits by retiming") and
+//! SIS. Its results — which registers to move across which cells — are the
+//! *control information* handed to the formal synthesis step in
+//! `hash-core`; its correctness is irrelevant for the soundness of the
+//! final theorem, exactly as argued in Section IV-C of the paper.
+//!
+//! The circuit is modelled as a graph `G(V, E, d, w)`: vertices are
+//! combinational cells plus a host vertex for the environment, `d(v)` is
+//! the propagation delay of a cell and `w(e)` the number of registers on a
+//! connection.
+
+use hash_netlist::prelude::*;
+use std::collections::BTreeMap;
+
+/// Index of a vertex in the retiming graph. Vertex 0 is always the host
+/// (environment) vertex; vertex `i + 1` corresponds to cell `i` of the
+/// netlist.
+pub type VertexId = usize;
+
+/// The host (environment) vertex.
+pub const HOST: VertexId = 0;
+
+/// An edge of the retiming graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Source vertex.
+    pub from: VertexId,
+    /// Target vertex.
+    pub to: VertexId,
+    /// Number of registers on the connection.
+    pub weight: i64,
+}
+
+/// The retiming graph of a netlist.
+#[derive(Clone, Debug)]
+pub struct RetimingGraph {
+    delays: Vec<i64>,
+    edges: Vec<Edge>,
+    cells: usize,
+}
+
+/// The default delay model: word-level cells are charged a delay
+/// proportional to the ripple they would need at gate level, simple gates
+/// cost one unit.
+pub fn default_delay(op: &CombOp, width: u32) -> i64 {
+    match op {
+        CombOp::Const(_) | CombOp::Concat | CombOp::Slice { .. } => 0,
+        CombOp::Not => 1,
+        CombOp::And | CombOp::Or | CombOp::Xor | CombOp::Mux => 1,
+        CombOp::Inc => i64::from(width),
+        CombOp::Add | CombOp::Sub => i64::from(width),
+        CombOp::Eq | CombOp::Lt | CombOp::Ge => i64::from(width),
+    }
+}
+
+impl RetimingGraph {
+    /// Builds the retiming graph of a netlist using the default delay model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist is structurally invalid.
+    pub fn from_netlist(netlist: &Netlist) -> std::result::Result<RetimingGraph, NetlistError> {
+        Self::from_netlist_with_delays(netlist, default_delay)
+    }
+
+    /// Builds the retiming graph with a caller-provided delay model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist is structurally invalid.
+    pub fn from_netlist_with_delays(
+        netlist: &Netlist,
+        delay: impl Fn(&CombOp, u32) -> i64,
+    ) -> std::result::Result<RetimingGraph, NetlistError> {
+        netlist.validate()?;
+        let cells = netlist.cells();
+        // Map: signal -> driving cell vertex (if driven by a cell).
+        let mut produced_by: BTreeMap<usize, VertexId> = BTreeMap::new();
+        for (i, c) in cells.iter().enumerate() {
+            produced_by.insert(c.output.index(), i + 1);
+        }
+        // Map: register output signal -> (register index).
+        let mut reg_by_output: BTreeMap<usize, usize> = BTreeMap::new();
+        for (i, r) in netlist.registers().iter().enumerate() {
+            reg_by_output.insert(r.output.index(), i);
+        }
+        let is_input = |s: SignalId| netlist.inputs().contains(&s);
+
+        // Traces a signal back through registers; returns the source vertex
+        // and the number of registers crossed.
+        let trace = |mut s: SignalId| -> (VertexId, i64) {
+            let mut weight = 0i64;
+            loop {
+                if let Some(&v) = produced_by.get(&s.index()) {
+                    return (v, weight);
+                }
+                if is_input(s) {
+                    return (HOST, weight);
+                }
+                if let Some(&ri) = reg_by_output.get(&s.index()) {
+                    weight += 1;
+                    s = netlist.registers()[ri].input;
+                    continue;
+                }
+                // Undriven signals are impossible after validation.
+                return (HOST, weight);
+            }
+        };
+
+        let mut delays = vec![0i64];
+        for c in cells {
+            let width = c
+                .inputs
+                .first()
+                .and_then(|id| netlist.width(*id).ok())
+                .unwrap_or_else(|| netlist.width(c.output).unwrap_or(1));
+            delays.push(delay(&c.op, width));
+        }
+
+        let mut edges = Vec::new();
+        for (i, c) in cells.iter().enumerate() {
+            for &inp in &c.inputs {
+                let (src, weight) = trace(inp);
+                edges.push(Edge {
+                    from: src,
+                    to: i + 1,
+                    weight,
+                });
+            }
+        }
+        for &out in netlist.outputs() {
+            let (src, weight) = trace(out);
+            edges.push(Edge {
+                from: src,
+                to: HOST,
+                weight,
+            });
+        }
+        Ok(RetimingGraph {
+            delays,
+            edges,
+            cells: cells.len(),
+        })
+    }
+
+    /// The number of vertices (cells + host).
+    pub fn num_vertices(&self) -> usize {
+        self.cells + 1
+    }
+
+    /// The number of combinational cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The edges of the graph.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The delay of a vertex.
+    pub fn delay(&self, v: VertexId) -> i64 {
+        self.delays[v]
+    }
+
+    /// The minimum feasible clock period of the circuit as it stands
+    /// (longest purely combinational path, the `CP` algorithm).
+    pub fn clock_period(&self) -> i64 {
+        self.clock_period_with(&vec![0; self.num_vertices()])
+    }
+
+    /// The clock period after applying the retiming vector `r`.
+    ///
+    /// Edges whose retimed weight is zero form the combinational paths; the
+    /// period is the maximum path delay over those.
+    pub fn clock_period_with(&self, r: &[i64]) -> i64 {
+        // The environment is assumed registered, so combinational paths must
+        // not chain *through* the host vertex: edges into the host are
+        // redirected to a separate sink vertex (index n - 1 below).
+        let n = self.num_vertices() + 1;
+        let sink = n - 1;
+        // Longest path in the DAG of zero-weight edges (the graph restricted
+        // to zero-weight edges is acyclic for any legal retiming).
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            let to = if e.to == HOST { sink } else { e.to };
+            let w = e.weight + r[e.to] - r[e.from];
+            if w == 0 {
+                adj[e.from].push(to);
+                indeg[to] += 1;
+            }
+        }
+        let delay_of = |v: VertexId| if v == sink { 0 } else { self.delays[v] };
+        let mut arrival: Vec<i64> = (0..n).map(delay_of).collect();
+        let mut queue: Vec<VertexId> = (0..n).filter(|v| indeg[*v] == 0).collect();
+        let mut head = 0;
+        let mut processed = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            processed += 1;
+            for &v in &adj[u] {
+                if arrival[u] + delay_of(v) > arrival[v] {
+                    arrival[v] = arrival[u] + delay_of(v);
+                }
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if processed < n {
+            // A zero-weight cycle: the retiming is illegal; report an
+            // effectively infinite period.
+            return i64::MAX / 4;
+        }
+        arrival.into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether a retiming vector is legal: every retimed edge weight is
+    /// non-negative and the host is not retimed.
+    pub fn is_legal(&self, r: &[i64]) -> bool {
+        r.len() == self.num_vertices()
+            && r[HOST] == 0
+            && self
+                .edges
+                .iter()
+                .all(|e| e.weight + r[e.to] - r[e.from] >= 0)
+    }
+
+    /// The `W` and `D` matrices of Leiserson–Saxe: for every pair `(u, v)`,
+    /// `W(u,v)` is the minimum register count over all paths and `D(u,v)`
+    /// the maximum path delay among the minimum-register paths.
+    pub fn wd_matrices(&self) -> (Vec<Vec<Option<i64>>>, Vec<Vec<Option<i64>>>) {
+        let n = self.num_vertices();
+        // As in `clock_period_with`, paths must not chain through the host
+        // vertex, so path targets pointing at the host are redirected to a
+        // separate sink vertex; its row/column is folded back into the host
+        // column at the end.
+        let ext = n + 1;
+        let sink = n;
+        // Shortest path with lexicographic weight (w, -d(u)); implemented as
+        // Floyd–Warshall over pairs (register count, negative accumulated
+        // delay of intermediate path source vertices), following the classic
+        // construction.
+        let big = i64::MAX / 4;
+        let mut w = vec![vec![(big, 0i64); ext]; ext];
+        for e in &self.edges {
+            let to = if e.to == HOST { sink } else { e.to };
+            let cand = (e.weight, -self.delays[e.from]);
+            if cand < w[e.from][to] {
+                w[e.from][to] = cand;
+            }
+        }
+        for (v, row) in w.iter_mut().enumerate().take(n) {
+            let cand = (0, 0);
+            if cand < row[v] {
+                row[v] = cand;
+            }
+        }
+        for k in 0..ext {
+            for i in 0..ext {
+                if w[i][k].0 >= big {
+                    continue;
+                }
+                for j in 0..ext {
+                    if w[k][j].0 >= big {
+                        continue;
+                    }
+                    let cand = (w[i][k].0 + w[k][j].0, w[i][k].1 + w[k][j].1);
+                    if cand < w[i][j] {
+                        w[i][j] = cand;
+                    }
+                }
+            }
+        }
+        let mut wm = vec![vec![None; n]; n];
+        let mut dm = vec![vec![None; n]; n];
+        let delay_of = |v: usize| if v == sink { 0 } else { self.delays[v] };
+        for u in 0..n {
+            for v in 0..n {
+                // Paths *into* the host are recorded against the sink; take
+                // the lexicographic minimum of the direct entry and the sink
+                // entry when the target is the host.
+                let entry = if v == HOST {
+                    w[u][HOST].min(w[u][sink])
+                } else {
+                    w[u][v]
+                };
+                let target = if v == HOST && w[u][sink] < w[u][HOST] {
+                    sink
+                } else {
+                    v
+                };
+                if entry.0 < big {
+                    wm[u][v] = Some(entry.0);
+                    dm[u][v] = Some(-entry.1 + delay_of(target));
+                }
+            }
+        }
+        (wm, dm)
+    }
+
+    /// Computes a legal retiming achieving clock period at most `period`,
+    /// if one exists (the `FEAS`-style feasibility check realised by
+    /// Bellman–Ford on the difference constraints).
+    pub fn feasible_retiming(&self, period: i64) -> Option<Vec<i64>> {
+        let n = self.num_vertices();
+        let (wm, dm) = self.wd_matrices();
+        // Difference constraints r(u) - r(v) <= b as edges v -> u with
+        // weight b; solve with Bellman–Ford from a virtual source.
+        let mut constraints: Vec<(VertexId, VertexId, i64)> = Vec::new();
+        for e in &self.edges {
+            // r(u) - r(v) <= w(e)  for e: u -> v
+            constraints.push((e.to, e.from, e.weight));
+        }
+        for u in 0..n {
+            for v in 0..n {
+                if let (Some(wuv), Some(duv)) = (wm[u][v], dm[u][v]) {
+                    if duv > period {
+                        // r(u) - r(v) <= W(u,v) - 1
+                        constraints.push((v, u, wuv - 1));
+                    }
+                }
+            }
+        }
+        // Bellman–Ford with all distances initialised to zero (implicit
+        // source connected to every vertex with weight 0).
+        let mut dist = vec![0i64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for &(from, to, weight) in &constraints {
+                if dist[from] + weight < dist[to] {
+                    dist[to] = dist[from] + weight;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // One more pass detects negative cycles (infeasible period).
+        for &(from, to, weight) in &constraints {
+            if dist[from] + weight < dist[to] {
+                return None;
+            }
+        }
+        // Normalise so that the host is not moved.
+        let offset = dist[HOST];
+        let r: Vec<i64> = dist.into_iter().map(|d| d - offset).collect();
+        if self.is_legal(&r) && self.clock_period_with(&r) <= period {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Minimum-period retiming: binary search over the candidate periods
+    /// (the distinct entries of the `D` matrix), returning the best period
+    /// and a retiming vector achieving it.
+    pub fn min_period_retiming(&self) -> (i64, Vec<i64>) {
+        let (_, dm) = self.wd_matrices();
+        let mut candidates: Vec<i64> = dm
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .collect();
+        candidates.push(self.clock_period());
+        candidates.sort_unstable();
+        candidates.dedup();
+        let identity = vec![0i64; self.num_vertices()];
+        let mut best = (self.clock_period(), identity);
+        let mut lo = 0usize;
+        let mut hi = candidates.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.feasible_retiming(candidates[mid]) {
+                Some(r) => {
+                    let p = self.clock_period_with(&r);
+                    if p <= best.0 {
+                        best = (p, r);
+                    }
+                    hi = mid;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        best
+    }
+
+    /// Total number of registers implied by a retiming vector (sum of
+    /// retimed edge weights) — used by the min-area ablation.
+    pub fn register_count(&self, r: &[i64]) -> i64 {
+        self.edges
+            .iter()
+            .map(|e| e.weight + r[e.to] - r[e.from])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic digital correlator from the Leiserson–Saxe paper,
+    /// modelled directly as a graph-backed netlist: seven cells in a ring
+    /// with registers, host delay 0, comparators of delay 3 and adders of
+    /// delay 7.
+    fn correlator() -> Netlist {
+        // We build a behaviourally meaningful stand-in with the same
+        // structure: a chain of registers feeding comparators whose results
+        // are accumulated by adders.
+        let mut n = Netlist::new("correlator");
+        let x = n.add_input("x", 4);
+        let k = n.constant(BitVec::new(5, 4).unwrap(), "k").unwrap();
+        // Delay line of three registers.
+        let d1 = n.register(x, BitVec::zero(4), "d1").unwrap();
+        let d2 = n.register(d1, BitVec::zero(4), "d2").unwrap();
+        let d3 = n.register(d2, BitVec::zero(4), "d3").unwrap();
+        // Comparators against the constant.
+        let c0 = n.eq(x, k, "c0").unwrap();
+        let c1 = n.eq(d1, k, "c1").unwrap();
+        let c2 = n.eq(d2, k, "c2").unwrap();
+        let c3 = n.eq(d3, k, "c3").unwrap();
+        // Adder tree (1-bit adds modelled as or-gates to stay single bit).
+        let a1 = n.or(c0, c1, "a1").unwrap();
+        let a2 = n.or(a1, c2, "a2").unwrap();
+        let a3 = n.or(a2, c3, "a3").unwrap();
+        n.mark_output(a3);
+        n
+    }
+
+    #[test]
+    fn graph_construction_counts_registers_on_edges() {
+        let n = correlator();
+        let g = RetimingGraph::from_netlist(&n).unwrap();
+        assert_eq!(g.num_cells(), n.cells().len());
+        // There must exist an edge with weight >= 2 (the path through two
+        // delay registers into c2).
+        assert!(g.edges().iter().any(|e| e.weight >= 2));
+        // And ordinary zero-weight edges.
+        assert!(g.edges().iter().any(|e| e.weight == 0));
+    }
+
+    #[test]
+    fn clock_period_is_longest_combinational_path() {
+        let n = correlator();
+        let g = RetimingGraph::from_netlist(&n).unwrap();
+        let cp = g.clock_period();
+        // Longest zero-weight path: eq (delay 4) followed by three or-gates
+        // (delay 1 each) = 7.
+        assert_eq!(cp, 7);
+    }
+
+    #[test]
+    fn min_period_retiming_improves_or_preserves_period() {
+        let n = correlator();
+        let g = RetimingGraph::from_netlist(&n).unwrap();
+        let before = g.clock_period();
+        let (after, r) = g.min_period_retiming();
+        assert!(g.is_legal(&r), "retiming vector must be legal");
+        assert!(after <= before, "retiming must not worsen the period");
+        assert_eq!(g.clock_period_with(&r), after);
+    }
+
+    #[test]
+    fn identity_retiming_is_legal() {
+        let n = correlator();
+        let g = RetimingGraph::from_netlist(&n).unwrap();
+        let r = vec![0; g.num_vertices()];
+        assert!(g.is_legal(&r));
+        assert_eq!(g.clock_period_with(&r), g.clock_period());
+        assert!(g.register_count(&r) > 0);
+    }
+
+    #[test]
+    fn wd_matrices_are_consistent() {
+        let n = correlator();
+        let g = RetimingGraph::from_netlist(&n).unwrap();
+        let (wm, dm) = g.wd_matrices();
+        let nv = g.num_vertices();
+        for u in 0..nv {
+            // Diagonal: zero registers; for cell vertices the delay is the
+            // cell's own delay, for the host it is the longest register-free
+            // input-to-output path (7 in the correlator).
+            assert_eq!(wm[u][u], Some(0));
+            if u != HOST {
+                assert_eq!(dm[u][u], Some(g.delay(u)));
+            }
+            for v in 0..nv {
+                if let Some(w) = wm[u][v] {
+                    assert!(w >= 0);
+                    assert!(dm[u][v].is_some());
+                }
+            }
+        }
+        assert_eq!(dm[HOST][HOST], Some(7));
+    }
+
+    #[test]
+    fn infeasible_period_returns_none() {
+        let n = correlator();
+        let g = RetimingGraph::from_netlist(&n).unwrap();
+        // No retiming can beat the largest single-cell delay.
+        let max_delay = (0..g.num_vertices()).map(|v| g.delay(v)).max().unwrap();
+        assert!(g.feasible_retiming(max_delay - 1).is_none());
+        assert!(g.feasible_retiming(g.clock_period()).is_some());
+    }
+
+    #[test]
+    fn pipeline_example_gets_faster() {
+        // in -> add -> add -> add -> reg -> out : retiming should spread the
+        // single output register into the adder chain.
+        let mut n = Netlist::new("pipe");
+        let a = n.add_input("a", 8);
+        let b = n.add_input("b", 8);
+        let s1 = n.add(a, b, "s1").unwrap();
+        let s2 = n.add(s1, b, "s2").unwrap();
+        let s3 = n.add(s2, b, "s3").unwrap();
+        let q1 = n.register(s3, BitVec::zero(8), "q1").unwrap();
+        let q2 = n.register(q1, BitVec::zero(8), "q2").unwrap();
+        n.mark_output(q2);
+        let g = RetimingGraph::from_netlist(&n).unwrap();
+        assert_eq!(g.clock_period(), 24);
+        let (p, r) = g.min_period_retiming();
+        assert!(p < 24, "period should improve, got {p}");
+        assert!(g.is_legal(&r));
+    }
+}

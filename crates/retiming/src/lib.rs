@@ -1,0 +1,59 @@
+//! # hash-retiming
+//!
+//! Conventional (untrusted) retiming heuristics for the DATE'97 HASH
+//! reproduction: the Leiserson–Saxe retiming graph, clock-period analysis,
+//! `W`/`D` matrices, min-period retiming, cut selection and netlist-level
+//! register moves.
+//!
+//! In the paper's architecture this crate plays the role of the "existing
+//! synthesis heuristics" that HASH reuses: it decides *where* registers
+//! should move (the cut between the blocks `f` and `g`), while the formal
+//! synthesis step in `hash-core` performs the move as a logical derivation.
+//! A bug in this crate can therefore never produce an incorrect circuit —
+//! it can only make the formal step fail (Section IV-C of the paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use hash_netlist::prelude::*;
+//! use hash_retiming::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! // a -> [register] -> +1 -> xor(a) -> out
+//! let mut n = Netlist::new("example");
+//! let a = n.add_input("a", 4);
+//! let q = n.register(a, BitVec::new(3, 4)?, "q")?;
+//! let i = n.inc(q, "i")?;
+//! let o = n.xor(i, a, "o")?;
+//! n.mark_output(o);
+//!
+//! // Pick the cut automatically and move the register across the +1.
+//! let cut = maximal_forward_cut(&n);
+//! let retimed = forward_retime(&n, &cut)?;
+//! assert_eq!(retimed.registers()[0].init.as_u64(), 4); // f(q) = 3 + 1
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apply;
+pub mod cut;
+pub mod error;
+pub mod graph;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::apply::{
+        analyze_forward_cut, backward_retime, forward_retime, Cut, CutBoundary,
+    };
+    pub use crate::cut::{false_cut, maximal_forward_cut, single_cell_cuts};
+    pub use crate::error::{Result, RetimingError};
+    pub use crate::graph::{default_delay, Edge, RetimingGraph, VertexId, HOST};
+}
+
+pub use apply::{backward_retime, forward_retime, Cut};
+pub use cut::maximal_forward_cut;
+pub use error::RetimingError;
+pub use graph::RetimingGraph;

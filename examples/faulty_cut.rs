@@ -1,0 +1,48 @@
+//! Reproduces Figure 4 and Section IV-C of the paper: a faulty heuristic
+//! proposes the wrong cut (f = {comparator, MUX}); the transformation fails
+//! with an exception-like error, and no (incorrect) theorem can be derived.
+//!
+//! Run with `cargo run --example faulty_cut`.
+
+use retiming_suite::automata::encode::false_cut_equation;
+use retiming_suite::circuits::figure2::Figure2;
+use retiming_suite::core::prelude::*;
+use retiming_suite::logic::prelude::*;
+use retiming_suite::retiming::prelude::*;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let fig = Figure2::new(8);
+    let mut hash = Hash::new()?;
+
+    // The false cut of Figure 4.
+    let bad = fig.false_cut();
+    println!("Trying the false cut f = {{comparator, MUX}} ...");
+
+    // The conventional heuristics reject it:
+    match forward_retime(&fig.netlist, &bad) {
+        Err(e) => println!("  conventional retiming: rejected ({e})"),
+        Ok(_) => println!("  conventional retiming: unexpectedly succeeded"),
+    }
+
+    // The formal synthesis step fails without producing a theorem:
+    match hash.formal_retime(&fig.netlist, &bad, RetimeOptions::default()) {
+        Err(e) => println!("  formal synthesis:      rejected ({e})"),
+        Ok(_) => println!("  formal synthesis:      unexpectedly succeeded"),
+    }
+
+    // And, as the paper points out, the equality between the original and
+    // the falsely split combinational function cannot even be expressed —
+    // the kernel refuses to build the ill-typed equation:
+    let mut theory = Theory::new();
+    BoolTheory::install(&mut theory)?;
+    PairTheory::install(&mut theory)?;
+    retiming_suite::automata::theory::AutomataTheory::install(&mut theory)?;
+    match false_cut_equation(&mut theory, &fig.netlist, &fig.correct_cut(), &bad.cells) {
+        Err(e) => println!("  kernel:                {e}"),
+        Ok(_) => println!("  kernel:                unexpectedly built the equation"),
+    }
+
+    println!("\nNo theorem was produced in any case: a faulty heuristic can");
+    println!("make the synthesis fail, but it can never make it incorrect.");
+    Ok(())
+}

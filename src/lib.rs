@@ -1,0 +1,51 @@
+//! # retiming-suite
+//!
+//! Umbrella crate of the reproduction of *"A Constructive Approach towards
+//! Correctness of Synthesis — Application within Retiming"* (Eisenbiegler,
+//! Kumar, Blumenröhr; DATE 1997).
+//!
+//! The individual subsystems live in their own crates and are re-exported
+//! here for convenience:
+//!
+//! * [`logic`] (`hash-logic`) — the LCF-style higher-order-logic kernel,
+//! * [`netlist`] (`hash-netlist`) — synchronous netlists, simulation and
+//!   bit-blasting,
+//! * [`automata`] (`hash-automata`) — the Automata theory and the circuit
+//!   term encoding,
+//! * [`retiming`] (`hash-retiming`) — conventional Leiserson–Saxe retiming
+//!   heuristics and netlist-level register moves,
+//! * [`core`] (`hash-core`) — the HASH formal synthesis engine and the
+//!   universal retiming theorem,
+//! * [`bdd`] (`hash-bdd`) — the ROBDD package,
+//! * [`equiv`] (`hash-equiv`) — the post-synthesis verification baselines,
+//! * [`circuits`] (`hash-circuits`) — benchmark circuit generators.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! experiment index, and `EXPERIMENTS.md` for reproduced results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use retiming_suite::circuits::figure2::Figure2;
+//! use retiming_suite::core::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! let mut hash = Hash::new()?;
+//! let fig = Figure2::new(8);
+//! let result = hash.formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())?;
+//! println!("{}", result.theorem);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use hash_automata as automata;
+pub use hash_bdd as bdd;
+pub use hash_circuits as circuits;
+pub use hash_core as core;
+pub use hash_equiv as equiv;
+pub use hash_logic as logic;
+pub use hash_netlist as netlist;
+pub use hash_retiming as retiming;

@@ -1,0 +1,41 @@
+//! Integration test for the paper's Section IV-C: faulty heuristics make
+//! the synthesis fail but can never make it derive an incorrect theorem.
+
+use retiming_suite::circuits::figure2::Figure2;
+use retiming_suite::core::prelude::*;
+use retiming_suite::retiming::prelude::*;
+
+#[test]
+fn every_wrong_single_cell_cut_is_rejected_consistently() {
+    let mut hash = Hash::new().unwrap();
+    let fig = Figure2::new(6);
+    let retimable = single_cell_cuts(&fig.netlist);
+    for cell in 0..fig.netlist.cells().len() {
+        let cut = Cut::new(vec![cell]);
+        let conventional = forward_retime(&fig.netlist, &cut);
+        let formal = hash.formal_retime(&fig.netlist, &cut, RetimeOptions::default());
+        // The two paths agree on which cuts are acceptable.
+        assert_eq!(
+            conventional.is_ok(),
+            formal.is_ok(),
+            "cell {cell}: conventional and formal paths disagree"
+        );
+        assert_eq!(
+            retimable.iter().any(|c| c.cells == vec![cell]),
+            formal.is_ok()
+        );
+    }
+}
+
+#[test]
+fn the_false_cut_of_figure4_is_rejected_by_every_layer() {
+    let mut hash = Hash::new().unwrap();
+    let fig = Figure2::new(8);
+    let bad = fig.false_cut();
+    assert!(forward_retime(&fig.netlist, &bad).is_err());
+    assert!(hash
+        .formal_retime(&fig.netlist, &bad, RetimeOptions::default())
+        .is_err());
+    // The trust base is unchanged by the failed attempt.
+    assert_eq!(hash.theory().axioms().len(), 4);
+}

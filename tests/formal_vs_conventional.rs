@@ -1,0 +1,76 @@
+//! Cross-crate integration tests: the formal synthesis result, the
+//! conventional retiming result, the verification baselines and plain
+//! simulation must all agree.
+
+use retiming_suite::circuits::figure2::Figure2;
+use retiming_suite::circuits::iwls::{generate, table2_benchmarks};
+use retiming_suite::core::prelude::*;
+use retiming_suite::equiv::prelude::*;
+use retiming_suite::netlist::prelude::*;
+
+#[test]
+fn figure2_formal_conventional_and_model_checker_agree() {
+    let mut hash = Hash::new().unwrap();
+    for n in [2u32, 4, 6] {
+        let fig = Figure2::new(n);
+        let formal = hash
+            .formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+            .unwrap();
+        // Simulation agreement.
+        let stim = random_stimuli(&fig.netlist, 100, 42 + u64::from(n));
+        assert!(traces_equal(&fig.netlist, &formal.retimed, &stim).unwrap());
+        // Model-checker agreement (the post-synthesis verification route).
+        let smv = check_equivalence_smv(
+            &fig.netlist,
+            &formal.retimed,
+            SmvOptions {
+                node_limit: 500_000,
+                max_iterations: 1_000,
+            },
+        );
+        assert_eq!(smv.verdict, Verdict::Equivalent, "n = {n}: {smv}");
+        // The reference retimed circuit from the paper's Figure 2.
+        let reference = Figure2::retimed_reference(n);
+        assert!(traces_equal(&formal.retimed, &reference, &stim).unwrap());
+    }
+}
+
+#[test]
+fn synthetic_benchmark_formal_retiming_is_validated_by_simulation() {
+    let mut hash = Hash::new().unwrap();
+    let benchmark = &table2_benchmarks()[0]; // s344-sized synthetic circuit
+    let netlist = generate(benchmark);
+    let result = hash
+        .formal_retime_auto(&netlist, RetimeOptions::default())
+        .unwrap();
+    assert!(result.theorem.is_closed());
+    let stim = random_stimuli(&netlist, 50, 7);
+    assert!(traces_equal(&netlist, &result.retimed, &stim).unwrap());
+}
+
+#[test]
+fn multiplier_family_is_formally_retimable() {
+    let mut hash = Hash::new().unwrap();
+    for width in [8u32, 16] {
+        let m = retiming_suite::circuits::FracMult::new(width).netlist;
+        let result = hash
+            .formal_retime_auto(&m, RetimeOptions::default())
+            .unwrap();
+        let stim = random_stimuli(&m, 40, 99);
+        assert!(traces_equal(&m, &result.retimed, &stim).unwrap());
+    }
+}
+
+#[test]
+fn theorem_lhs_matches_the_encoded_circuit_and_rhs_has_literal_state() {
+    let mut hash = Hash::new().unwrap();
+    let fig = Figure2::new(12);
+    let result = hash
+        .formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+        .unwrap();
+    let (lhs, rhs) = result.theorem.concl().dest_eq().unwrap();
+    assert!(lhs.aconv(&result.encoding.circuit_term));
+    let (_, init) = retiming_suite::automata::dest_automaton(&rhs).unwrap();
+    let values = retiming_suite::automata::literal_tuple_values(&init).unwrap();
+    assert_eq!(values[0].as_u64(), 1, "f(0) = 1 for the incrementer");
+}

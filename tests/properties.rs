@@ -1,0 +1,101 @@
+//! Property-based tests spanning the workspace: retiming preserves
+//! behaviour, bit-blasting preserves behaviour, and the kernel's
+//! substitution machinery respects alpha-equivalence.
+
+use hash_logic::prelude::*;
+use proptest::prelude::*;
+use retiming_suite::netlist::prelude::*;
+use retiming_suite::retiming::prelude::*;
+
+/// Builds a small random pipeline circuit from a seed: input -> register ->
+/// a few word-level cells -> output, with a retimable first stage.
+fn pipeline_from_seed(seed: u64, width: u32) -> Netlist {
+    let mut n = Netlist::new(format!("pipe_{seed}"));
+    let a = n.add_input("a", width);
+    let b = n.add_input("b", width);
+    let q1 = n
+        .register(a, BitVec::truncate(seed, width), "q1")
+        .unwrap();
+    let q2 = n
+        .register(b, BitVec::truncate(seed >> 8, width), "q2")
+        .unwrap();
+    // Retimable block (reads only registers).
+    let stage1 = match seed % 3 {
+        0 => n.add(q1, q2, "s1").unwrap(),
+        1 => n.xor(q1, q2, "s1").unwrap(),
+        _ => n.cell(CombOp::Sub, &[q1, q2], "s1").unwrap(),
+    };
+    let stage1b = n.inc(stage1, "s1b").unwrap();
+    // Non-retimable tail (reads a primary input).
+    let tail = match (seed >> 4) % 2 {
+        0 => n.xor(stage1b, a, "t").unwrap(),
+        _ => n.add(stage1b, b, "t").unwrap(),
+    };
+    n.mark_output(tail);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_retiming_preserves_traces(seed in 0u64..10_000, width in 2u32..10) {
+        let netlist = pipeline_from_seed(seed, width);
+        let cut = maximal_forward_cut(&netlist);
+        prop_assume!(!cut.is_empty());
+        let retimed = forward_retime(&netlist, &cut).unwrap();
+        let stim = random_stimuli(&netlist, 32, seed);
+        prop_assert!(traces_equal(&netlist, &retimed, &stim).unwrap());
+    }
+
+    #[test]
+    fn bit_blasting_preserves_traces(seed in 0u64..10_000, width in 2u32..8) {
+        let netlist = pipeline_from_seed(seed, width);
+        let blasted = hash_netlist::gate::bit_blast(&netlist).unwrap();
+        let stim = random_stimuli(&netlist, 16, seed ^ 0xABCD);
+        let mut rt = Simulator::new(&netlist).unwrap();
+        let mut gate = Simulator::new(&blasted.netlist).unwrap();
+        for inp in &stim {
+            let rt_out = rt.step(inp).unwrap();
+            let gate_inp: Vec<BitVec> = inp
+                .iter()
+                .flat_map(|v| (0..v.width()).map(|i| BitVec::bit(v.bit_at(i))))
+                .collect();
+            let gate_out = gate.step(&gate_inp).unwrap();
+            let rt_bits: Vec<bool> = rt_out
+                .iter()
+                .flat_map(|v| (0..v.width()).map(|i| v.bit_at(i)))
+                .collect();
+            let gate_bits: Vec<bool> = gate_out.iter().map(|v| v.is_true()).collect();
+            prop_assert_eq!(rt_bits, gate_bits);
+        }
+    }
+
+    #[test]
+    fn kernel_substitution_respects_types(name in "[a-d]", width in 1u32..16) {
+        // INST refuses ill-typed substitutions and preserves well-typedness.
+        let v = Var::new(name.clone(), Type::bv(width));
+        let th = Theorem::refl(&v.term()).unwrap();
+        let good = th.inst(&vec![(v.clone(), mk_var("z", Type::bv(width)))]);
+        prop_assert!(good.is_ok());
+        let bad = th.inst(&vec![(v, mk_var("z", Type::bv(width + 1)))]);
+        prop_assert!(bad.is_err());
+    }
+
+    #[test]
+    fn beta_normalisation_agrees_with_substitution(width in 1u32..8) {
+        // (\x. x op x) a  normalises to  a op a.
+        let x = Var::new("x", Type::bv(width));
+        let a = mk_var("a", Type::bv(width));
+        let op = mk_const(
+            "op",
+            Type::fun(Type::bv(width), Type::fun(Type::bv(width), Type::bv(width))),
+        );
+        let body = list_mk_comb(&op, &[x.term(), x.term()]).unwrap();
+        let redex = mk_comb(&mk_abs(&x, &body), &a).unwrap();
+        let th = beta_norm_thm(&redex).unwrap();
+        let (_, nf) = th.dest_eq().unwrap();
+        let expected = list_mk_comb(&op, &[a.clone(), a.clone()]).unwrap();
+        prop_assert!(nf.aconv(&expected));
+    }
+}
