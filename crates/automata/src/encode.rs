@@ -11,10 +11,10 @@
 //! size stays linear in the number of cells.
 
 use crate::theory::{mk_automaton, mk_literal, op_const};
+use hash_logic::error::Result;
 use hash_logic::pair::{mk_pair, mk_tuple, tuple_project};
 use hash_logic::prelude::*;
 use hash_netlist::prelude::*;
-use hash_logic::error::Result;
 use hash_retiming::prelude::{analyze_forward_cut, Cut};
 use std::collections::BTreeMap;
 
@@ -133,7 +133,11 @@ pub fn encode_split(theory: &mut Theory, netlist: &Netlist, cut: &Cut) -> Result
         .topo_order()
         .map_err(|e| LogicError::theory(e.to_string()))?;
     let cut_set: std::collections::BTreeSet<usize> = cut.cells.iter().copied().collect();
-    let f_cells: Vec<usize> = order.iter().copied().filter(|c| cut_set.contains(c)).collect();
+    let f_cells: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|c| cut_set.contains(c))
+        .collect();
     let g_cells: Vec<usize> = order
         .iter()
         .copied()
@@ -163,13 +167,23 @@ pub fn encode_split(theory: &mut Theory, netlist: &Netlist, cut: &Cut) -> Result
         .iter()
         .map(|s| netlist.width(*s).unwrap_or(1))
         .collect();
-    let input_ty = Type::prod_list(&input_widths.iter().map(|w| Type::bv(*w)).collect::<Vec<_>>());
+    let input_ty = Type::prod_list(
+        &input_widths
+            .iter()
+            .map(|w| Type::bv(*w))
+            .collect::<Vec<_>>(),
+    );
     let state_widths: Vec<u32> = moved_registers
         .iter()
         .chain(kept_registers.iter())
         .map(|&i| reg_width(i))
         .collect();
-    let state_ty = Type::prod_list(&state_widths.iter().map(|w| Type::bv(*w)).collect::<Vec<_>>());
+    let state_ty = Type::prod_list(
+        &state_widths
+            .iter()
+            .map(|w| Type::bv(*w))
+            .collect::<Vec<_>>(),
+    );
     let mid_widths: Vec<u32> = cut_outputs
         .iter()
         .map(|s| netlist.width(*s).unwrap_or(1))
@@ -181,8 +195,12 @@ pub fn encode_split(theory: &mut Theory, netlist: &Netlist, cut: &Cut) -> Result
         .iter()
         .map(|s| netlist.width(*s).unwrap_or(1))
         .collect();
-    let output_ty =
-        Type::prod_list(&output_widths.iter().map(|w| Type::bv(*w)).collect::<Vec<_>>());
+    let output_ty = Type::prod_list(
+        &output_widths
+            .iter()
+            .map(|w| Type::bv(*w))
+            .collect::<Vec<_>>(),
+    );
 
     let state_arity = state_widths.len().max(1);
     let mid_arity = mid_widths.len().max(1);
@@ -356,10 +374,7 @@ pub fn false_cut_equation(
     let false_state_ty = Type::prod_list(&widths);
     let s = Var::new("s", false_state_ty);
     let body = s.term();
-    let false_comb = mk_abs(
-        &Var::new("i", good.input_ty.clone()),
-        &mk_abs(&s, &body),
-    );
+    let false_comb = mk_abs(&Var::new("i", good.input_ty.clone()), &mk_abs(&s, &body));
     // The kernel refuses to build the equation: different types.
     mk_eq(&good.comb_term, &false_comb)
 }
@@ -369,7 +384,12 @@ mod tests {
     use super::*;
     use hash_circuits::figure2::Figure2;
 
-    fn setup() -> (Theory, BoolTheory, PairTheory, crate::theory::AutomataTheory) {
+    fn setup() -> (
+        Theory,
+        BoolTheory,
+        PairTheory,
+        crate::theory::AutomataTheory,
+    ) {
         let mut thy = Theory::new();
         let b = BoolTheory::install(&mut thy).unwrap();
         let p = PairTheory::install(&mut thy).unwrap();
@@ -402,7 +422,10 @@ mod tests {
             enc.g_term.ty().unwrap(),
             Type::fun(
                 enc.input_ty.clone(),
-                Type::fun(enc.mid_ty.clone(), Type::prod(enc.output_ty.clone(), enc.state_ty.clone()))
+                Type::fun(
+                    enc.mid_ty.clone(),
+                    Type::prod(enc.output_ty.clone(), enc.state_ty.clone())
+                )
             )
         );
     }

@@ -40,10 +40,7 @@ pub fn automaton_generic_ty() -> Type {
     let i = Type::var("i");
     let o = Type::var("o");
     let s = Type::var("s");
-    Type::fun(
-        comb_ty(&i, &s, &o),
-        Type::fun(s.clone(), beh_ty(&i, &o)),
-    )
+    Type::fun(comb_ty(&i, &s, &o), Type::fun(s.clone(), beh_ty(&i, &o)))
 }
 
 /// Builds the term `automaton comb init`.
@@ -58,10 +55,7 @@ pub fn mk_automaton(comb: &TermRef, init: &TermRef) -> Result<TermRef> {
     let (output, _) = out_pair.dest_prod()?;
     let a = mk_const(
         "automaton",
-        Type::fun(
-            cty.clone(),
-            Type::fun(state.clone(), beh_ty(input, output)),
-        ),
+        Type::fun(cty.clone(), Type::fun(state.clone(), beh_ty(input, output))),
     );
     list_mk_comb(&a, &[Rc::clone(comb), Rc::clone(init)])
 }
@@ -74,9 +68,7 @@ pub fn mk_automaton(comb: &TermRef, init: &TermRef) -> Result<TermRef> {
 pub fn dest_automaton(t: &TermRef) -> Result<(TermRef, TermRef)> {
     let (head, args) = t.strip_comb();
     match head.dest_const() {
-        Ok(c) if c.name == "automaton" && args.len() == 2 => {
-            Ok((args[0].clone(), args[1].clone()))
-        }
+        Ok(c) if c.name == "automaton" && args.len() == 2 => Ok((args[0].clone(), args[1].clone())),
         _ => Err(LogicError::ill_formed(
             "dest_automaton",
             format!("not an automaton term: {t}"),
@@ -190,7 +182,10 @@ impl AutomataTheory {
         let oty = Type::var("o");
         let sty = Type::var("s");
         let tty = Type::var("t");
-        let r = Var::new("R", Type::fun(sty.clone(), Type::fun(tty.clone(), Type::bool())));
+        let r = Var::new(
+            "R",
+            Type::fun(sty.clone(), Type::fun(tty.clone(), Type::bool())),
+        );
         let c1 = Var::new("c1", comb_ty(&ity, &sty, &oty));
         let c2 = Var::new("c2", comb_ty(&ity, &tty, &oty));
         let q1 = Var::new("q1", sty.clone());
@@ -274,11 +269,7 @@ pub fn op_const(theory: &mut Theory, op: &CombOp, operand_widths: &[u32]) -> Res
 /// # Errors
 ///
 /// Fails if the term contains free variables or non-evaluatable parts.
-pub fn eval_ground(
-    theory: &Theory,
-    pair_theory: &PairTheory,
-    term: &TermRef,
-) -> Result<Theorem> {
+pub fn eval_ground(theory: &Theory, pair_theory: &PairTheory, term: &TermRef) -> Result<Theorem> {
     let mut rw = Rewriter::new().with_max_passes(10_000);
     rw.add_eqs(&pair_theory.projection_eqs())?;
     rw.rewrite_with(Some(theory), term)
@@ -310,10 +301,7 @@ mod tests {
     #[test]
     fn automaton_terms_build_and_destruct() {
         let (_, _, _, _) = setup();
-        let comb = mk_var(
-            "c",
-            comb_ty(&Type::bv(4), &Type::bv(8), &Type::bv(4)),
-        );
+        let comb = mk_var("c", comb_ty(&Type::bv(4), &Type::bv(8), &Type::bv(4)));
         let init = mk_var("q", Type::bv(8));
         let t = mk_automaton(&comb, &init).unwrap();
         let (c, q) = dest_automaton(&t).unwrap();
@@ -348,7 +336,10 @@ mod tests {
         .unwrap();
         let th = eval_ground(&thy, &p, &t).unwrap();
         let (_, rhs) = th.dest_eq().unwrap();
-        assert_eq!(rhs.dest_const().unwrap().name, literal_name(&BitVec::new(4, 8).unwrap()));
+        assert_eq!(
+            rhs.dest_const().unwrap().name,
+            literal_name(&BitVec::new(4, 8).unwrap())
+        );
     }
 
     #[test]

@@ -43,8 +43,12 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        assert!(BddError::UnknownVariable { var: 7 }.to_string().contains('7'));
-        assert!(BddError::NodeLimit { limit: 100 }.to_string().contains("100"));
+        assert!(BddError::UnknownVariable { var: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(BddError::NodeLimit { limit: 100 }
+            .to_string()
+            .contains("100"));
         assert!(!BddError::NonMonotoneRename.to_string().is_empty());
     }
 }

@@ -194,10 +194,7 @@ impl BddManager {
         if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
             return Ok(cached);
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -420,7 +417,11 @@ impl BddManager {
     ///
     /// Fails only if the node limit is exceeded.
     pub fn restrict(&mut self, f: BddRef, var: u32, value: bool) -> Result<BddRef> {
-        let lit = if value { self.var(var)? } else { self.nvar(var)? };
+        let lit = if value {
+            self.var(var)?
+        } else {
+            self.nvar(var)?
+        };
         let conj = self.and(f, lit)?;
         self.exists(conj, &[var])
     }

@@ -64,7 +64,9 @@ fn build(m: &mut BddManager, e: &Expr) -> BddRef {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    // Fixed case count AND fixed RNG seed: CI explores exactly the same
+    // cases on every run, and a failure reproduces from the seed alone.
+    #![proptest_config(ProptestConfig::with_cases(512).with_rng_seed(0xE15E_4B1E_61E8_0002))]
 
     #[test]
     fn bdd_matches_truth_table(e in expr(4)) {

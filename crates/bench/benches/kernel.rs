@@ -2,8 +2,8 @@
 //! theorem (the tool designer's one-time cost) and composing theorems by
 //! transitivity (the per-compound-step cost).
 use criterion::{criterion_group, criterion_main, Criterion};
-use hash_core::prelude::*;
 use hash_circuits::figure2::Figure2;
+use hash_core::prelude::*;
 
 fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel");

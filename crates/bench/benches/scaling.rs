@@ -13,7 +13,8 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hash", width), &width, |b, _| {
             b.iter(|| {
                 let mut hash = Hash::new().unwrap();
-                hash.formal_retime(&m, &cut, RetimeOptions::default()).unwrap()
+                hash.formal_retime(&m, &cut, RetimeOptions::default())
+                    .unwrap()
             })
         });
     }

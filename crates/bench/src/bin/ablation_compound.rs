@@ -5,8 +5,6 @@ use hash_bench::ablation;
 fn main() {
     for n in [4u32, 8, 16, 32] {
         let (retime, join, compose) = ablation::compound(n);
-        println!(
-            "n={n}: retime {retime:.4}s, join {join:.4}s, compose {compose:.6}s"
-        );
+        println!("n={n}: retime {retime:.4}s, join {join:.4}s, compose {compose:.6}s");
     }
 }

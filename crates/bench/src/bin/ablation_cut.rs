@@ -2,7 +2,9 @@
 use hash_bench::ablation;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s344".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s344".to_string());
     println!("cut size\tHASH seconds ({name})");
     for (size, secs) in ablation::cut_size(&name) {
         println!("{size}\t{secs:.4}");

@@ -5,11 +5,7 @@ use hash_bench::table1;
 fn main() {
     let widths: Vec<u32> = std::env::args()
         .nth(1)
-        .map(|s| {
-            s.split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect()
-        })
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![2, 4, 6, 8, 12, 16, 24, 32, 48, 64]);
     let rows = table1::run(&widths, 300_000);
     println!("Table I — scalable example from Figure 2 (times in seconds, '-' = blow-up)");

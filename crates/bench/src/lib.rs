@@ -219,11 +219,8 @@ pub mod table2 {
                     },
                 ));
                 let start = Instant::now();
-                let hash = match hash_engine.formal_retime(
-                    &netlist,
-                    &cut,
-                    RetimeOptions::default(),
-                ) {
+                let hash = match hash_engine.formal_retime(&netlist, &cut, RetimeOptions::default())
+                {
                     Ok(_) => Timing::ok(start.elapsed()),
                     Err(_) => Timing {
                         seconds: start.elapsed().as_secs_f64(),
@@ -303,7 +300,11 @@ pub mod scaling {
                         status: "fail",
                     },
                 };
-                Row { width: w, hash, smv }
+                Row {
+                    width: w,
+                    hash,
+                    smv,
+                }
             })
             .collect()
     }
@@ -385,7 +386,9 @@ pub mod ablation {
             .expect("retiming applies");
         let t1 = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let step2 = hash_engine.join_step_of(&step1.theorem).expect("join applies");
+        let step2 = hash_engine
+            .join_step_of(&step1.theorem)
+            .expect("join applies");
         let t2 = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
         let _ = hash_engine

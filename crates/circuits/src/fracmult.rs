@@ -75,11 +75,14 @@ impl FracMult {
         let a_next = nl.mux(load, a_in, a_q, "a_next").expect("mux");
         let b_next = nl.mux(load, b_in, b_shifted, "b_next").expect("mux");
         let acc_zero = nl.constant(BitVec::zero(n), "acc_zero").expect("constant");
-        let acc_next = nl.mux(load, acc_zero, acc_shifted, "acc_next").expect("mux");
+        let acc_next = nl
+            .mux(load, acc_zero, acc_shifted, "acc_next")
+            .expect("mux");
 
         nl.add_register(a_next, a_q, BitVec::zero(n)).expect("reg");
         nl.add_register(b_next, b_q, BitVec::zero(n)).expect("reg");
-        nl.add_register(acc_next, acc_q, BitVec::zero(n)).expect("reg");
+        nl.add_register(acc_next, acc_q, BitVec::zero(n))
+            .expect("reg");
         nl.mark_output(acc_q);
 
         // Output stage: a registered copy of the product followed by a
@@ -108,11 +111,7 @@ impl FracMult {
             BitVec::truncate(b, n),
         ];
         sim.step(&load)?;
-        let idle = [
-            BitVec::bit(false),
-            BitVec::zero(n),
-            BitVec::zero(n),
-        ];
+        let idle = [BitVec::bit(false), BitVec::zero(n), BitVec::zero(n)];
         for _ in 0..n {
             sim.step(&idle)?;
         }

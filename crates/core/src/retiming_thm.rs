@@ -73,10 +73,7 @@ pub fn derive_retiming_theorem(
     let b = Var::new("b", tty.clone());
     let r_term = mk_abs(
         &a,
-        &mk_abs(
-            &b,
-            &mk_eq(&b.term(), &mk_comb(&f_var.term(), &a.term())?)?,
-        ),
+        &mk_abs(&b, &mk_eq(&b.term(), &mk_comb(&f_var.term(), &a.term())?)?),
     );
     // c1 = \i s. g i (f s)
     let iv = Var::new("i", ity.clone());
@@ -98,10 +95,7 @@ pub fn derive_retiming_theorem(
         &iv,
         &mk_abs(
             &xv,
-            &mk_pair(
-                &mk_fst(&gix)?,
-                &mk_comb(&f_var.term(), &mk_snd(&gix)?)?,
-            )?,
+            &mk_pair(&mk_fst(&gix)?, &mk_comb(&f_var.term(), &mk_snd(&gix)?)?)?,
         ),
     );
     let fq = mk_comb(&f_var.term(), &q_var.term())?;
@@ -183,7 +177,7 @@ pub fn derive_retiming_theorem(
     let th4 = Theorem::ap_term(f_head, &Theorem::ap_term(snd_inst, &spine_c1.sym()?)?)?;
     let target_eq = Theorem::trans_chain(&[th1, th2, th3, th4])?;
     // Sanity: the derived equation matches the reduced target shape.
-    debug_assert!(target_eq.concl().dest_eq()?.1.aconv(&rhs_b));
+    debug_assert!(target_eq.concl().dest_eq()?.1.aconv(rhs_b));
     let b_thm = Theorem::eq_mp(&spine_b.sym()?, &target_eq)?;
 
     let conj_thm = bools.conj(&a_thm, &b_thm)?;
@@ -227,8 +221,8 @@ mod tests {
         assert!(rt.theorem.is_closed(), "no leftover hypotheses");
         let (lhs, rhs) = rt.theorem.concl().dest_eq().unwrap();
         // Both sides are automaton terms.
-        let (c1, q1) = dest_automaton(&lhs).unwrap();
-        let (c2, q2) = dest_automaton(&rhs).unwrap();
+        let (c1, q1) = dest_automaton(lhs).unwrap();
+        let (c2, q2) = dest_automaton(rhs).unwrap();
         assert!(q1.aconv(&rt.q_var.term()));
         // The retimed initial state is f q.
         let (fh, fa) = q2.dest_comb().unwrap();
@@ -255,7 +249,7 @@ mod tests {
         let inst = rt.theorem.inst_type(&subst);
         assert!(inst.is_closed());
         let (lhs, _) = inst.concl().dest_eq().unwrap();
-        let (_, q) = dest_automaton(&lhs).unwrap();
+        let (_, q) = dest_automaton(lhs).unwrap();
         assert_eq!(q.ty().unwrap(), Type::bv(8));
     }
 

@@ -50,19 +50,13 @@ pub struct FormalRetiming {
 }
 
 /// Options controlling the formal retiming step.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RetimeOptions {
     /// Re-normalise ("join") the retimed combinational term — the paper's
     /// step 3. Joining expands the let-bound structure, so it is only
     /// advisable for small circuits; the theorem is equally valid without
     /// it.
     pub join_parts: bool,
-}
-
-impl Default for RetimeOptions {
-    fn default() -> Self {
-        RetimeOptions { join_parts: false }
-    }
 }
 
 /// The HASH formal synthesis engine.
@@ -209,11 +203,9 @@ impl Hash {
     ) -> Result<FormalRetiming> {
         let cut = maximal_forward_cut(netlist);
         if cut.is_empty() {
-            return Err(HashError::Retiming(
-                hash_retiming::RetimingError::BadCut {
-                    message: "no retimable block exists".to_string(),
-                },
-            ));
+            return Err(HashError::Retiming(hash_retiming::RetimingError::BadCut {
+                message: "no retimable block exists".to_string(),
+            }));
         }
         self.formal_retime(netlist, &cut, options)
     }
@@ -290,7 +282,10 @@ impl std::fmt::Debug for Hash {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hash")
             .field("theory", &self.theory)
-            .field("retiming_theorem", &self.retiming.theorem.concl().to_string())
+            .field(
+                "retiming_theorem",
+                &self.retiming.theorem.concl().to_string(),
+            )
             .finish()
     }
 }

@@ -49,7 +49,11 @@ impl Default for EijkOptions {
 }
 
 /// The basic van Eijk checker: frontier-based symbolic product traversal.
-pub fn check_equivalence_eijk(a: &Netlist, b: &Netlist, options: EijkOptions) -> VerificationResult {
+pub fn check_equivalence_eijk(
+    a: &Netlist,
+    b: &Netlist,
+    options: EijkOptions,
+) -> VerificationResult {
     let start = Instant::now();
     match run(a, b, options, false) {
         Ok((verdict, iterations, peak)) => {
@@ -111,9 +115,9 @@ fn register_correspondence(
         // representative's variable (a functional composition, so no
         // variable-order monotonicity is required).
         let mut subs: Vec<(u32, BddRef)> = Vec::new();
-        for i in 0..n {
-            if class[i] != i {
-                let rep = pm.manager.var(pm.state_vars[class[i]])?;
+        for (i, &rep_idx) in class.iter().enumerate() {
+            if rep_idx != i {
+                let rep = pm.manager.var(pm.state_vars[rep_idx])?;
                 subs.push((pm.state_vars[i], rep));
             }
         }
@@ -163,9 +167,9 @@ fn run(
         (0..pm.state_vars.len()).collect()
     };
     let mut subs: Vec<(u32, BddRef)> = Vec::new();
-    for i in 0..pm.state_vars.len() {
-        if class[i] != i {
-            let rep = pm.manager.var(pm.state_vars[class[i]])?;
+    for (i, &rep_idx) in class.iter().enumerate() {
+        if rep_idx != i {
+            let rep = pm.manager.var(pm.state_vars[rep_idx])?;
             subs.push((pm.state_vars[i], rep));
         }
     }
@@ -269,8 +273,7 @@ mod tests {
         let fig = Figure2::new(4);
         let copy = Figure2::new(4);
         let basic = check_equivalence_eijk(&fig.netlist, &copy.netlist, EijkOptions::default());
-        let plus =
-            check_equivalence_eijk_plus(&fig.netlist, &copy.netlist, EijkOptions::default());
+        let plus = check_equivalence_eijk_plus(&fig.netlist, &copy.netlist, EijkOptions::default());
         assert_eq!(basic.verdict, Verdict::Equivalent);
         assert_eq!(plus.verdict, Verdict::Equivalent);
         assert!(plus.iterations <= basic.iterations);

@@ -34,6 +34,10 @@ pub struct ProductMachine {
     pub outputs_b: Vec<BddRef>,
 }
 
+/// Symbolic functions of one netlist: next-state functions (register
+/// order), output functions (output order), and the per-signal BDD map.
+type NetlistFunctions = (Vec<BddRef>, Vec<BddRef>, BTreeMap<SignalId, BddRef>);
+
 /// Builds the symbolic functions of a single gate-level netlist inside an
 /// existing manager, given the variable assignment for its inputs and
 /// register outputs.
@@ -42,7 +46,7 @@ fn build_functions(
     netlist: &Netlist,
     input_vars: &[u32],
     state_vars: &[u32],
-) -> Result<(Vec<BddRef>, Vec<BddRef>, BTreeMap<SignalId, BddRef>)> {
+) -> Result<NetlistFunctions> {
     if !netlist.is_gate_level() {
         return Err(EquivError::NotGateLevel {
             name: netlist.name().to_string(),
@@ -58,12 +62,9 @@ fn build_functions(
     for ci in netlist.topo_order()? {
         let cell = &netlist.cells()[ci];
         let get = |id: &SignalId| -> Result<BddRef> {
-            values
-                .get(id)
-                .copied()
-                .ok_or_else(|| EquivError::Internal {
-                    message: format!("missing BDD for signal {id}"),
-                })
+            values.get(id).copied().ok_or_else(|| EquivError::Internal {
+                message: format!("missing BDD for signal {id}"),
+            })
         };
         let f = match &cell.op {
             CombOp::Const(v) => manager.constant(v.is_true()),
@@ -104,9 +105,12 @@ fn build_functions(
         .registers()
         .iter()
         .map(|r| {
-            values.get(&r.input).copied().ok_or_else(|| EquivError::Internal {
-                message: "missing next-state function".to_string(),
-            })
+            values
+                .get(&r.input)
+                .copied()
+                .ok_or_else(|| EquivError::Internal {
+                    message: "missing next-state function".to_string(),
+                })
         })
         .collect::<Result<Vec<_>>>()?;
     let output_fns = netlist
@@ -159,8 +163,7 @@ impl ProductMachine {
         let num_state = (a.registers().len() + b.registers().len()) as u32;
         // Variable order: inputs first, then interleaved (current, next)
         // pairs so that renaming next -> current is monotone.
-        let mut manager =
-            BddManager::new(num_inputs + 2 * num_state).with_node_limit(node_limit);
+        let mut manager = BddManager::new(num_inputs + 2 * num_state).with_node_limit(node_limit);
         let input_vars: Vec<u32> = (0..num_inputs).collect();
         let state_vars: Vec<u32> = (0..num_state).map(|i| num_inputs + 2 * i).collect();
         let next_vars: Vec<u32> = (0..num_state).map(|i| num_inputs + 2 * i + 1).collect();
@@ -248,9 +251,7 @@ impl ProductMachine {
     pub fn image(&mut self, states: BddRef, transition: BddRef) -> Result<BddRef> {
         let mut quantified: Vec<u32> = self.state_vars.clone();
         quantified.extend(self.input_vars.iter().copied());
-        let img_next = self
-            .manager
-            .and_exists(states, transition, &quantified)?;
+        let img_next = self.manager.and_exists(states, transition, &quantified)?;
         let rename: Vec<(u32, u32)> = self
             .next_vars
             .iter()

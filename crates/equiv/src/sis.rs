@@ -58,11 +58,7 @@ fn run(
     if a.inputs().len() != b.inputs().len() || a.outputs().len() != b.outputs().len() {
         return Ok((Verdict::NotEquivalent, 0, 0));
     }
-    let input_bits: u32 = a
-        .inputs()
-        .iter()
-        .map(|id| a.width(*id).unwrap_or(1))
-        .sum();
+    let input_bits: u32 = a.inputs().iter().map(|id| a.width(*id).unwrap_or(1)).sum();
     if input_bits > options.max_input_bits {
         return Ok((Verdict::ResourceLimit, 0, 0));
     }

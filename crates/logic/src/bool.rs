@@ -9,9 +9,7 @@
 
 use crate::conv::{apply_def, beta_spine_thm};
 use crate::error::{LogicError, Result};
-use crate::term::{
-    list_mk_comb, mk_abs, mk_comb, mk_const, variant, Term, TermRef, Var,
-};
+use crate::term::{list_mk_comb, mk_abs, mk_comb, mk_const, variant, Term, TermRef, Var};
 use crate::theory::Theory;
 use crate::thm::Theorem;
 use crate::types::{Type, TypeSubst};
@@ -61,7 +59,10 @@ fn bin_bool_ty() -> Type {
 ///
 /// Fails if either argument is not boolean.
 pub fn mk_conj(p: &TermRef, q: &TermRef) -> Result<TermRef> {
-    list_mk_comb(&mk_const("/\\", bin_bool_ty()), &[Rc::clone(p), Rc::clone(q)])
+    list_mk_comb(
+        &mk_const("/\\", bin_bool_ty()),
+        &[Rc::clone(p), Rc::clone(q)],
+    )
 }
 
 /// Builds the implication `p ==> q`.
@@ -70,7 +71,10 @@ pub fn mk_conj(p: &TermRef, q: &TermRef) -> Result<TermRef> {
 ///
 /// Fails if either argument is not boolean.
 pub fn mk_imp(p: &TermRef, q: &TermRef) -> Result<TermRef> {
-    list_mk_comb(&mk_const("==>", bin_bool_ty()), &[Rc::clone(p), Rc::clone(q)])
+    list_mk_comb(
+        &mk_const("==>", bin_bool_ty()),
+        &[Rc::clone(p), Rc::clone(q)],
+    )
 }
 
 /// Builds the disjunction `p \/ q`.
@@ -79,7 +83,10 @@ pub fn mk_imp(p: &TermRef, q: &TermRef) -> Result<TermRef> {
 ///
 /// Fails if either argument is not boolean.
 pub fn mk_disj(p: &TermRef, q: &TermRef) -> Result<TermRef> {
-    list_mk_comb(&mk_const("\\/", bin_bool_ty()), &[Rc::clone(p), Rc::clone(q)])
+    list_mk_comb(
+        &mk_const("\\/", bin_bool_ty()),
+        &[Rc::clone(p), Rc::clone(q)],
+    )
 }
 
 /// Builds the negation `~p`.
@@ -148,9 +155,9 @@ pub fn list_mk_forall(vars: &[Var], body: &TermRef) -> Result<TermRef> {
 ///
 /// Fails on an empty list.
 pub fn list_mk_conj(ps: &[TermRef]) -> Result<TermRef> {
-    let (last, init) = ps.split_last().ok_or_else(|| {
-        LogicError::ill_formed("list_mk_conj", "empty conjunction".to_string())
-    })?;
+    let (last, init) = ps
+        .split_last()
+        .ok_or_else(|| LogicError::ill_formed("list_mk_conj", "empty conjunction".to_string()))?;
     let mut acc = Rc::clone(last);
     for p in init.iter().rev() {
         acc = mk_conj(p, &acc)?;
@@ -229,8 +236,7 @@ impl BoolTheory {
 
         // T = ((\p. p) = (\p. p))
         let idfn = mk_abs(&p, &p.term());
-        let truth_def =
-            theory.new_definition("T_DEF", "T", &crate::term::mk_eq(&idfn, &idfn)?)?;
+        let truth_def = theory.new_definition("T_DEF", "T", &crate::term::mk_eq(&idfn, &idfn)?)?;
 
         // (/\) = \p q. (\f. f p q) = (\f. f T T)
         let f = Var::new("f", bin_bool_ty());
@@ -268,10 +274,7 @@ impl BoolTheory {
         // (?) = \P. !q. (!x. P x ==> q) ==> q
         let px = mk_comb(&big_p.term(), &x.term())?;
         let inner = mk_forall(&x, &mk_imp(&px, &q.term())?)?;
-        let exists_body = mk_abs(
-            &big_p,
-            &mk_forall(&q, &mk_imp(&inner, &q.term())?)?,
-        );
+        let exists_body = mk_abs(&big_p, &mk_forall(&q, &mk_imp(&inner, &q.term())?)?);
         let exists_def = theory.new_definition("EXISTS_DEF", "?", &exists_body)?;
 
         // (\/) = \p q. !r. (p ==> r) ==> (q ==> r) ==> r
@@ -664,9 +667,9 @@ mod tests {
         // {x = y} ⊢ x = y  cannot be generalised (free in hyps), so build a
         // closed theorem instead: ⊢ x = x then generalise x.
         let th = Theorem::refl(&x.term()).unwrap();
-        let gen = b.gen_list(&[x.clone()], &th).unwrap();
+        let gen = b.gen_list(std::slice::from_ref(&x), &th).unwrap();
         let p = mk_var("p", Type::bool());
-        let spec = b.spec_list(&[p.clone()], &gen).unwrap();
+        let spec = b.spec_list(std::slice::from_ref(&p), &gen).unwrap();
         assert!(spec.concl().aconv(&mk_eq(&p, &p).unwrap()));
         drop(body);
         drop(y);
@@ -724,7 +727,9 @@ mod tests {
     #[test]
     fn conj_list_and_disch_list() {
         let (_, b) = setup();
-        let ps: Vec<TermRef> = (0..3).map(|i| mk_var(format!("p{i}"), Type::bool())).collect();
+        let ps: Vec<TermRef> = (0..3)
+            .map(|i| mk_var(format!("p{i}"), Type::bool()))
+            .collect();
         let thms: Vec<Theorem> = ps.iter().map(|p| Theorem::assume(p).unwrap()).collect();
         let all = b.conj_list(&thms).unwrap();
         assert_eq!(all.hyps().len(), 3);

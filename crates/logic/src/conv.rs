@@ -467,11 +467,7 @@ mod tests {
         let fst = thy
             .const_with("fst", &crate::types::TypeSubst::new())
             .unwrap();
-        let lhs = mk_comb(
-            &fst,
-            &list_mk_comb(&pair, &[a.term(), bv.term()]).unwrap(),
-        )
-        .unwrap();
+        let lhs = mk_comb(&fst, &list_mk_comb(&pair, &[a.term(), bv.term()]).unwrap()).unwrap();
         let ax = thy
             .new_axiom("FST_PAIR", &mk_eq(&lhs, &a.term()).unwrap())
             .unwrap();
@@ -538,7 +534,9 @@ mod tests {
         thy.declare_constant("inc", Type::fun(Type::bv(4), Type::bv(4)))
             .unwrap();
         thy.declare_constant("one", Type::bv(4)).unwrap();
-        let inc = thy.const_at("inc", Type::fun(Type::bv(4), Type::bv(4))).unwrap();
+        let inc = thy
+            .const_at("inc", Type::fun(Type::bv(4), Type::bv(4)))
+            .unwrap();
         let zero = thy.const_at("zero", Type::bv(4)).unwrap();
         let one = thy.const_at("one", Type::bv(4)).unwrap();
         let one_for_delta = Rc::clone(&one);

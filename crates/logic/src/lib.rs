@@ -73,8 +73,8 @@ pub mod prelude {
         dest_pair, mk_fst, mk_pair, mk_snd, mk_tuple, strip_tuple, tuple_project, PairTheory,
     };
     pub use crate::term::{
-        list_mk_abs, list_mk_comb, mk_abs, mk_comb, mk_const, mk_eq, mk_var, term_match,
-        vsubst, Term, TermRef, TermSubst, Var,
+        list_mk_abs, list_mk_comb, mk_abs, mk_comb, mk_const, mk_eq, mk_var, term_match, vsubst,
+        Term, TermRef, TermSubst, Var,
     };
     pub use crate::theory::Theory;
     pub use crate::thm::Theorem;

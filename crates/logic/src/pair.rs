@@ -266,7 +266,9 @@ mod tests {
 
     #[test]
     fn tuples_nest_to_the_right() {
-        let xs: Vec<TermRef> = (0..3).map(|i| mk_var(format!("x{i}"), Type::bv(2))).collect();
+        let xs: Vec<TermRef> = (0..3)
+            .map(|i| mk_var(format!("x{i}"), Type::bv(2)))
+            .collect();
         let t = mk_tuple(&xs).unwrap();
         assert_eq!(
             t.ty().unwrap(),

@@ -97,7 +97,11 @@ pub fn mk_const(name: impl Into<String>, ty: Type) -> TermRef {
 pub fn mk_comb(f: &TermRef, x: &TermRef) -> Result<TermRef> {
     let fty = f.ty()?;
     let (dom, _) = fty.dest_fun().map_err(|_| {
-        LogicError::type_mismatch(format!("mk_comb of {f}"), "a function type", fty.to_string())
+        LogicError::type_mismatch(
+            format!("mk_comb of {f}"),
+            "a function type",
+            fty.to_string(),
+        )
     })?;
     let xty = x.ty()?;
     if *dom != xty {
@@ -389,9 +393,7 @@ impl Term {
                     v == w
                 }
                 (Term::Const(c), Term::Const(d)) => c == d,
-                (Term::Comb(f1, x1), Term::Comb(f2, x2)) => {
-                    go(f1, f2, env) && go(x1, x2, env)
-                }
+                (Term::Comb(f1, x1), Term::Comb(f2, x2)) => go(f1, f2, env) && go(x1, x2, env),
                 (Term::Abs(v, b1), Term::Abs(w, b2)) => {
                     if v.ty != w.ty {
                         return false;
@@ -449,11 +451,7 @@ pub fn vsubst(theta: &TermSubst, t: &TermRef) -> TermRef {
         }
         Term::Abs(v, body) => {
             // Remove bindings for the bound variable itself.
-            let filtered: TermSubst = theta
-                .iter()
-                .filter(|(w, _)| w != v)
-                .cloned()
-                .collect();
+            let filtered: TermSubst = theta.iter().filter(|(w, _)| w != v).cloned().collect();
             if filtered.is_empty() {
                 return Rc::clone(t);
             }
@@ -500,14 +498,14 @@ pub fn inst_type(theta: &TypeSubst, t: &TermRef) -> TermRef {
                 let new_body = go(theta, body);
                 // Detect capture: a distinct free variable of the original body
                 // could collide with the instantiated bound variable.
-                let clash = body.free_vars().into_iter().any(|w| {
-                    w != *v && w.name == new_var.name && w.ty.subst(theta) == new_var.ty
-                });
+                let clash = body
+                    .free_vars()
+                    .into_iter()
+                    .any(|w| w != *v && w.name == new_var.name && w.ty.subst(theta) == new_var.ty);
                 if clash {
                     let avoid: Vec<Var> = new_body.free_vars();
                     let fresh = variant(&avoid, &new_var);
-                    let renamed =
-                        vsubst(&vec![(new_var.clone(), fresh.term())], &new_body);
+                    let renamed = vsubst(&vec![(new_var.clone(), fresh.term())], &new_body);
                     Rc::new(Term::Abs(fresh, renamed))
                 } else {
                     Rc::new(Term::Abs(new_var, new_body))

@@ -48,10 +48,7 @@ impl Theory {
         let mut constants = BTreeMap::new();
         constants.insert(
             "=".to_string(),
-            Type::fun(
-                Type::var("a"),
-                Type::fun(Type::var("a"), Type::bool()),
-            ),
+            Type::fun(Type::var("a"), Type::fun(Type::var("a"), Type::bool())),
         );
         Theory {
             constants,
@@ -224,7 +221,10 @@ impl Theory {
             .get(name)
             .ok_or_else(|| LogicError::theory(format!("unknown delta rule {name}")))?;
         let result = rule(term).ok_or_else(|| {
-            LogicError::conversion("apply_delta", format!("rule {name} does not apply to {term}"))
+            LogicError::conversion(
+                "apply_delta",
+                format!("rule {name} does not apply to {term}"),
+            )
         })?;
         let tty = term.ty()?;
         let rty = result.ty()?;
@@ -311,8 +311,11 @@ mod tests {
     fn constants_and_instances() {
         let mut thy = Theory::new();
         assert!(thy.has_constant("="));
-        thy.declare_constant("fst", Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("a")))
-            .unwrap();
+        thy.declare_constant(
+            "fst",
+            Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("a")),
+        )
+        .unwrap();
         let inst = thy
             .const_at(
                 "fst",
@@ -329,7 +332,10 @@ mod tests {
             .is_err());
         // Re-declaration with the same type is fine, with another type is not.
         assert!(thy
-            .declare_constant("fst", Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("a")))
+            .declare_constant(
+                "fst",
+                Type::fun(Type::prod(Type::var("a"), Type::var("b")), Type::var("a"))
+            )
             .is_ok());
         assert!(thy.declare_constant("fst", Type::bool()).is_err());
     }
@@ -365,7 +371,8 @@ mod tests {
     fn delta_rules_are_type_checked() {
         let mut thy = Theory::new();
         // A rule that "evaluates" the constant zero to itself.
-        thy.new_delta_rule("id_rule", |t| Some(Rc::clone(t))).unwrap();
+        thy.new_delta_rule("id_rule", |t| Some(Rc::clone(t)))
+            .unwrap();
         let c = mk_var("c", Type::bv(8));
         let th = thy.apply_delta("id_rule", &c).unwrap();
         assert_eq!(th.concl().to_string(), "c = c");

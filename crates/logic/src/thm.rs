@@ -49,10 +49,7 @@ fn hyp_union(a: &[TermRef], b: &[TermRef]) -> Vec<TermRef> {
 
 /// Removes all hypotheses alpha-equivalent to `t`.
 fn hyp_remove(hyps: &[TermRef], t: &TermRef) -> Vec<TermRef> {
-    hyps.iter()
-        .filter(|h| !h.aconv(t))
-        .cloned()
-        .collect()
+    hyps.iter().filter(|h| !h.aconv(t)).cloned().collect()
 }
 
 impl Theorem {
@@ -101,14 +98,12 @@ impl Theorem {
     /// `TRANS`: from `Γ ⊢ s = t` and `Δ ⊢ t' = u` with `t` alpha-equivalent
     /// to `t'`, derive `Γ ∪ Δ ⊢ s = u`.
     pub fn trans(th1: &Theorem, th2: &Theorem) -> Result<Theorem> {
-        let (s, t) = th1
-            .concl
-            .dest_eq()
-            .map_err(|_| LogicError::ill_formed("TRANS", format!("not an equation: {}", th1.concl)))?;
-        let (t2, u) = th2
-            .concl
-            .dest_eq()
-            .map_err(|_| LogicError::ill_formed("TRANS", format!("not an equation: {}", th2.concl)))?;
+        let (s, t) = th1.concl.dest_eq().map_err(|_| {
+            LogicError::ill_formed("TRANS", format!("not an equation: {}", th1.concl))
+        })?;
+        let (t2, u) = th2.concl.dest_eq().map_err(|_| {
+            LogicError::ill_formed("TRANS", format!("not an equation: {}", th2.concl))
+        })?;
         if !t.aconv(t2) {
             return Err(LogicError::side_condition(
                 "TRANS",
@@ -157,9 +152,10 @@ impl Theorem {
     /// `ABS`: from `Γ ⊢ s = t`, derive `Γ ⊢ (\v. s) = (\v. t)` provided `v`
     /// does not occur free in `Γ`.
     pub fn abs(v: &Var, th: &Theorem) -> Result<Theorem> {
-        let (s, t) = th.concl.dest_eq().map_err(|_| {
-            LogicError::ill_formed("ABS", format!("not an equation: {}", th.concl))
-        })?;
+        let (s, t) = th
+            .concl
+            .dest_eq()
+            .map_err(|_| LogicError::ill_formed("ABS", format!("not an equation: {}", th.concl)))?;
         if th.hyps.iter().any(|h| h.occurs_free(v)) {
             return Err(LogicError::side_condition(
                 "ABS",
@@ -176,9 +172,8 @@ impl Theorem {
 
     /// `BETA`: for a beta redex `(\x. b) a`, derive `⊢ (\x. b) a = b[a/x]`.
     pub fn beta(redex: &TermRef) -> Result<Theorem> {
-        let reduced = beta_reduce(redex).map_err(|_| {
-            LogicError::ill_formed("BETA", format!("not a beta redex: {redex}"))
-        })?;
+        let reduced = beta_reduce(redex)
+            .map_err(|_| LogicError::ill_formed("BETA", format!("not a beta redex: {redex}")))?;
         Ok(Theorem {
             hyps: Vec::new(),
             concl: mk_eq(redex, &reduced)?,

@@ -28,7 +28,9 @@ fn bool_term(depth: u32) -> BoxedStrategy<TermRef> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Fixed case count AND fixed RNG seed: CI explores exactly the same
+    // cases on every run, and a failure reproduces from the seed alone.
+    #![proptest_config(ProptestConfig::with_cases(256).with_rng_seed(0xE15E_4B1E_61E8_0001))]
 
     #[test]
     fn aconv_is_reflexive_and_respects_refl(t in bool_term(3)) {

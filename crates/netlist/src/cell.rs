@@ -290,10 +290,15 @@ mod tests {
         assert_eq!(CombOp::Mux.output_width(&[1, 8, 8]).unwrap(), 8);
         assert!(CombOp::Mux.output_width(&[2, 8, 8]).is_err());
         assert_eq!(CombOp::Concat.output_width(&[3, 5]).unwrap(), 8);
-        assert_eq!(CombOp::Slice { hi: 6, lo: 3 }.output_width(&[8]).unwrap(), 4);
+        assert_eq!(
+            CombOp::Slice { hi: 6, lo: 3 }.output_width(&[8]).unwrap(),
+            4
+        );
         assert!(CombOp::Slice { hi: 8, lo: 3 }.output_width(&[8]).is_err());
         assert_eq!(
-            CombOp::Const(BitVec::new(5, 3).unwrap()).output_width(&[]).unwrap(),
+            CombOp::Const(BitVec::new(5, 3).unwrap())
+                .output_width(&[])
+                .unwrap(),
             3
         );
     }

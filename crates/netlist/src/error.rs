@@ -124,11 +124,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("add") && s.contains('8') && s.contains('4'));
-        assert!(NetlistError::Undriven {
-            signal: "x".into()
-        }
-        .to_string()
-        .contains('x'));
+        assert!(NetlistError::Undriven { signal: "x".into() }
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -362,8 +362,12 @@ mod tests {
         let a = n.add_input("a", 3);
         let b = n.add_input("b", 5);
         let cat = n.cell(CombOp::Concat, &[a, b], "cat").unwrap();
-        let hi = n.cell(CombOp::Slice { hi: 7, lo: 5 }, &[cat], "hi").unwrap();
-        let lo = n.cell(CombOp::Slice { hi: 4, lo: 0 }, &[cat], "lo").unwrap();
+        let hi = n
+            .cell(CombOp::Slice { hi: 7, lo: 5 }, &[cat], "hi")
+            .unwrap();
+        let lo = n
+            .cell(CombOp::Slice { hi: 4, lo: 0 }, &[cat], "lo")
+            .unwrap();
         n.mark_output(hi);
         n.mark_output(lo);
         let before = bit_blast(&n).unwrap();

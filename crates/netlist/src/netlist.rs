@@ -468,7 +468,9 @@ impl Netlist {
                 .find(|i| deps[*i] > 0)
                 .expect("a blocked cell exists when the order is incomplete");
             return Err(NetlistError::CombinationalCycle {
-                signal: self.signals[self.cells[blocked].output.index()].name.clone(),
+                signal: self.signals[self.cells[blocked].output.index()]
+                    .name
+                    .clone(),
             });
         }
         Ok(order)

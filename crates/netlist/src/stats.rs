@@ -26,7 +26,11 @@ impl fmt::Display for Stats {
         write!(
             f,
             "{}: {} inputs, {} outputs, {} flip-flops, {} cells (~{} gates)",
-            self.name, self.input_bits, self.output_bits, self.flip_flops, self.cells,
+            self.name,
+            self.input_bits,
+            self.output_bits,
+            self.flip_flops,
+            self.cells,
             self.gate_estimate
         )
     }

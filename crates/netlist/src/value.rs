@@ -71,7 +71,7 @@ impl BitVec {
     ///
     /// Panics if the width is invalid (0 or > 64).
     pub fn truncate(value: u64, width: u32) -> BitVec {
-        assert!(width >= 1 && width <= MAX_WIDTH, "invalid width {width}");
+        assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
         BitVec {
             width,
             bits: value & mask(width),
@@ -118,7 +118,10 @@ impl BitVec {
     /// Fails on width mismatch.
     pub fn add(&self, other: &BitVec) -> Result<BitVec> {
         self.check_same_width(other, "add")?;
-        Ok(BitVec::truncate(self.bits.wrapping_add(other.bits), self.width))
+        Ok(BitVec::truncate(
+            self.bits.wrapping_add(other.bits),
+            self.width,
+        ))
     }
 
     /// Subtraction modulo `2^width`.
@@ -128,7 +131,10 @@ impl BitVec {
     /// Fails on width mismatch.
     pub fn sub(&self, other: &BitVec) -> Result<BitVec> {
         self.check_same_width(other, "sub")?;
-        Ok(BitVec::truncate(self.bits.wrapping_sub(other.bits), self.width))
+        Ok(BitVec::truncate(
+            self.bits.wrapping_sub(other.bits),
+            self.width,
+        ))
     }
 
     /// Increment modulo `2^width` (the paper's `+1` component).

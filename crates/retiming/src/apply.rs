@@ -82,8 +82,7 @@ pub fn analyze_forward_cut(netlist: &Netlist, cut: &Cut) -> Result<CutBoundary> 
             message: "duplicate cell in cut".to_string(),
         });
     }
-    let cut_outputs: BTreeSet<SignalId> =
-        cut_set.iter().map(|&ci| cells[ci].output).collect();
+    let cut_outputs: BTreeSet<SignalId> = cut_set.iter().map(|&ci| cells[ci].output).collect();
 
     // Registers indexed by output signal.
     let mut reg_by_output: BTreeMap<SignalId, usize> = BTreeMap::new();
@@ -193,12 +192,15 @@ pub fn analyze_forward_cut(netlist: &Netlist, cut: &Cut) -> Result<CutBoundary> 
             .inputs
             .iter()
             .map(|id| {
-                values.get(id).copied().ok_or_else(|| RetimingError::BadCut {
-                    message: format!(
-                        "internal error: no value for cut signal {}",
-                        netlist.signals()[id.index()].name.clone()
-                    ),
-                })
+                values
+                    .get(id)
+                    .copied()
+                    .ok_or_else(|| RetimingError::BadCut {
+                        message: format!(
+                            "internal error: no value for cut signal {}",
+                            netlist.signals()[id.index()].name.clone()
+                        ),
+                    })
             })
             .collect::<Result<_>>()?;
         let v = cell.op.eval(&operands)?;
@@ -359,10 +361,7 @@ pub fn backward_retime(netlist: &Netlist, cut: &Cut) -> Result<Netlist> {
         }
         if netlist.outputs().contains(&s) {
             return Err(RetimingError::BadCut {
-                message: format!(
-                    "cut output {} is a primary output",
-                    netlist.signal(s)?.name
-                ),
+                message: format!("cut output {} is a primary output", netlist.signal(s)?.name),
             });
         }
         for (ri, r) in netlist.registers().iter().enumerate() {
@@ -397,9 +396,7 @@ pub fn backward_retime(netlist: &Netlist, cut: &Cut) -> Result<Netlist> {
         .sum();
     if total_bits > 20 {
         return Err(RetimingError::BadCut {
-            message: format!(
-                "backward retiming search space of {total_bits} bits is too large"
-            ),
+            message: format!("backward retiming search space of {total_bits} bits is too large"),
         });
     }
     let order = netlist.topo_order()?;
@@ -427,11 +424,7 @@ pub fn backward_retime(netlist: &Netlist, cut: &Cut) -> Result<Netlist> {
                 continue;
             }
             let cell = &cells[ci];
-            let operands: Vec<BitVec> = cell
-                .inputs
-                .iter()
-                .map(|id| values[id])
-                .collect();
+            let operands: Vec<BitVec> = cell.inputs.iter().map(|id| values[id]).collect();
             let v = cell.op.eval(&operands)?;
             values.insert(cell.output, v);
         }
@@ -626,9 +619,7 @@ mod tests {
         let a = n.add_input("a", 4);
         let zero = n.constant(BitVec::zero(4), "z").unwrap(); // cell 0
         let masked = n.and(a, zero, "m").unwrap(); // cell 1, always 0
-        let q = n
-            .register(masked, BitVec::new(5, 4).unwrap(), "q")
-            .unwrap();
+        let q = n.register(masked, BitVec::new(5, 4).unwrap(), "q").unwrap();
         let o = n.inc(q, "o").unwrap();
         n.mark_output(o);
         let err = backward_retime(&n, &Cut::new(vec![0, 1])).unwrap_err();

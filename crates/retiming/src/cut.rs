@@ -19,8 +19,7 @@ use std::collections::BTreeSet;
 /// approach" used for the paper's experiments.
 pub fn maximal_forward_cut(netlist: &Netlist) -> Cut {
     let cells = netlist.cells();
-    let reg_outputs: BTreeSet<SignalId> =
-        netlist.registers().iter().map(|r| r.output).collect();
+    let reg_outputs: BTreeSet<SignalId> = netlist.registers().iter().map(|r| r.output).collect();
     let producer: std::collections::BTreeMap<SignalId, usize> = cells
         .iter()
         .enumerate()
@@ -45,9 +44,10 @@ pub fn maximal_forward_cut(netlist: &Netlist) -> Cut {
                 if grown[i] || !allowed[i] {
                     continue;
                 }
-                let ok = c.inputs.iter().all(|s| {
-                    reg_outputs.contains(s) || producer.get(s).is_some_and(|j| grown[*j])
-                });
+                let ok = c
+                    .inputs
+                    .iter()
+                    .all(|s| reg_outputs.contains(s) || producer.get(s).is_some_and(|j| grown[*j]));
                 if ok {
                     grown[i] = true;
                     more = true;
@@ -72,9 +72,7 @@ pub fn maximal_forward_cut(netlist: &Netlist) -> Cut {
                 .any(|(i, c)| !in_cut[i] && c.inputs.contains(&r.output));
             let feeds_register = netlist.registers().iter().any(|r2| r2.input == r.output);
             let is_output = netlist.outputs().contains(&r.output);
-            let fed_by_cut = producer
-                .get(&r.input)
-                .is_some_and(|j| in_cut[*j]);
+            let fed_by_cut = producer.get(&r.input).is_some_and(|j| in_cut[*j]);
             if read_outside || feeds_register || is_output {
                 for (i, c) in cells.iter().enumerate() {
                     if allowed[i] && c.inputs.contains(&r.output) {
@@ -97,11 +95,7 @@ pub fn maximal_forward_cut(netlist: &Netlist) -> Cut {
             break;
         }
     }
-    let mut cut = Cut::new(
-        (0..cells.len())
-            .filter(|i| in_cut[*i])
-            .collect::<Vec<_>>(),
-    );
+    let mut cut = Cut::new((0..cells.len()).filter(|i| in_cut[*i]).collect::<Vec<_>>());
     // Final safety net: if an unforeseen side condition still fails, drop
     // cells from the back until the analysis accepts the cut.
     while !cut.is_empty() && analyze_forward_cut(netlist, &cut).is_err() {

@@ -59,7 +59,9 @@ mod tests {
     fn display_and_conversion() {
         let e: RetimingError = NetlistError::UnsupportedWidth { width: 0 }.into();
         assert!(e.to_string().contains("netlist error"));
-        assert!(RetimingError::Infeasible { period: 5 }.to_string().contains('5'));
+        assert!(RetimingError::Infeasible { period: 5 }
+            .to_string()
+            .contains('5'));
         assert!(RetimingError::BadCut {
             message: "xyz".into()
         }

@@ -25,6 +25,10 @@ pub type VertexId = usize;
 /// The host (environment) vertex.
 pub const HOST: VertexId = 0;
 
+/// A dense vertex-pair matrix as used by the `W`/`D` matrices of
+/// Leiserson–Saxe; `None` marks an unreachable pair.
+pub type VertexPairMatrix = Vec<Vec<Option<i64>>>;
+
 /// An edge of the retiming graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Edge {
@@ -237,7 +241,7 @@ impl RetimingGraph {
     /// The `W` and `D` matrices of Leiserson–Saxe: for every pair `(u, v)`,
     /// `W(u,v)` is the minimum register count over all paths and `D(u,v)`
     /// the maximum path delay among the minimum-register paths.
-    pub fn wd_matrices(&self) -> (Vec<Vec<Option<i64>>>, Vec<Vec<Option<i64>>>) {
+    pub fn wd_matrices(&self) -> (VertexPairMatrix, VertexPairMatrix) {
         let n = self.num_vertices();
         // As in `clock_period_with`, paths must not chain through the host
         // vertex, so path targets pointing at the host are redirected to a
@@ -366,12 +370,7 @@ impl RetimingGraph {
     /// and a retiming vector achieving it.
     pub fn min_period_retiming(&self) -> (i64, Vec<i64>) {
         let (_, dm) = self.wd_matrices();
-        let mut candidates: Vec<i64> = dm
-            .iter()
-            .flatten()
-            .flatten()
-            .copied()
-            .collect();
+        let mut candidates: Vec<i64> = dm.iter().flatten().flatten().copied().collect();
         candidates.push(self.clock_period());
         candidates.sort_unstable();
         candidates.dedup();

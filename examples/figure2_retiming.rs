@@ -9,7 +9,10 @@ use retiming_suite::netlist::prelude::*;
 use retiming_suite::retiming::prelude::*;
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
-    let n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let fig = Figure2::new(n);
 
     println!("Figure 2 circuit at n = {n}:");
@@ -43,7 +46,13 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // Cross-check by simulation (the paper's Section II baseline).
     let stim = random_stimuli(&fig.netlist, 200, 2024);
     let equal = traces_equal(&fig.netlist, &formal.retimed, &stim)?;
-    println!("\nSimulation cross-check over 200 random cycles: {}",
-        if equal { "traces identical" } else { "TRACES DIFFER (impossible)" });
+    println!(
+        "\nSimulation cross-check over 200 random cycles: {}",
+        if equal {
+            "traces identical"
+        } else {
+            "TRACES DIFFER (impossible)"
+        }
+    );
     Ok(())
 }

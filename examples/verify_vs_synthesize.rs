@@ -11,7 +11,10 @@ use retiming_suite::retiming::prelude::*;
 use std::time::Instant;
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
-    let n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let fig = Figure2::new(n);
     let retimed = forward_retime(&fig.netlist, &fig.correct_cut())?;
 
@@ -20,14 +23,20 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let sis = check_equivalence_sis(
         &fig.netlist,
         &retimed,
-        SisOptions { max_states: 1 << 20, max_input_bits: 14 },
+        SisOptions {
+            max_states: 1 << 20,
+            max_input_bits: 14,
+        },
     );
     println!("  SIS-style FSM comparison: {sis}");
 
     let smv = check_equivalence_smv(
         &fig.netlist,
         &retimed,
-        SmvOptions { node_limit: 500_000, max_iterations: 10_000 },
+        SmvOptions {
+            node_limit: 500_000,
+            max_iterations: 10_000,
+        },
     );
     println!("  SMV-style model checking: {smv}");
 

@@ -1,0 +1,58 @@
+//! Smoke test: every example under `examples/` must run end-to-end and
+//! exit successfully, so the examples cannot silently rot as the API
+//! evolves. (`cargo test` already *compiles* the examples; this test also
+//! *executes* them via the same cargo that is running the test suite.)
+
+use std::path::Path;
+use std::process::Command;
+
+/// The five examples of the umbrella crate, in tour order.
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "figure2_retiming",
+    "verify_vs_synthesize",
+    "compound_synthesis",
+    "faulty_cut",
+];
+
+#[test]
+fn every_example_runs_end_to_end() {
+    let cargo = env!("CARGO");
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for example in EXAMPLES {
+        let output = Command::new(cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn `cargo run --example {example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}
+
+#[test]
+fn example_sources_all_have_smoke_coverage() {
+    // If someone adds examples/foo.rs without extending EXAMPLES above,
+    // fail loudly instead of silently skipping it.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let name = entry.expect("readable dir entry").file_name();
+            let name = name.to_string_lossy();
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    on_disk.sort();
+    let mut covered: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    covered.sort();
+    assert_eq!(
+        on_disk, covered,
+        "examples on disk and EXAMPLES in tests/examples_smoke.rs have diverged"
+    );
+}

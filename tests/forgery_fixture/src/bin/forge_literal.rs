@@ -1,0 +1,17 @@
+//! Forgery attempt 1: struct-literal construction of a `Theorem`. The
+//! fields are private, so this MUST die with E0451;
+//! tests/trust_base_negative.rs builds this binary and asserts exactly
+//! that.
+
+use hash_logic::term::{mk_eq, mk_var};
+use hash_logic::thm::Theorem;
+use hash_logic::types::Type;
+
+fn main() {
+    let t = mk_var("p", Type::bool());
+    let lie = mk_eq(&t, &t).unwrap();
+    let _forged = Theorem {
+        hyps: Vec::new(),
+        concl: lie,
+    };
+}

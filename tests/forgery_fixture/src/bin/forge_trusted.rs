@@ -1,0 +1,14 @@
+//! Forgery attempt 2: calling the kernel's internal `trusted`
+//! constructor. It is `pub(crate)`, so this MUST die with E0624;
+//! tests/trust_base_negative.rs builds this binary and asserts exactly
+//! that.
+
+use hash_logic::term::{mk_eq, mk_var};
+use hash_logic::thm::Theorem;
+use hash_logic::types::Type;
+
+fn main() {
+    let t = mk_var("p", Type::bool());
+    let lie = mk_eq(&t, &t).unwrap();
+    let _forged = Theorem::trusted(Vec::new(), lie);
+}

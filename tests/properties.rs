@@ -13,9 +13,7 @@ fn pipeline_from_seed(seed: u64, width: u32) -> Netlist {
     let mut n = Netlist::new(format!("pipe_{seed}"));
     let a = n.add_input("a", width);
     let b = n.add_input("b", width);
-    let q1 = n
-        .register(a, BitVec::truncate(seed, width), "q1")
-        .unwrap();
+    let q1 = n.register(a, BitVec::truncate(seed, width), "q1").unwrap();
     let q2 = n
         .register(b, BitVec::truncate(seed >> 8, width), "q2")
         .unwrap();
@@ -36,7 +34,11 @@ fn pipeline_from_seed(seed: u64, width: u32) -> Netlist {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Fixed case count AND fixed RNG seed: CI explores exactly the same
+    // cases on every run, and a failure reproduces from the seed alone.
+    // Case count stays moderate here — each case simulates two netlists
+    // for dozens of cycles.
+    #![proptest_config(ProptestConfig::with_cases(48).with_rng_seed(0xE15E_4B1E_61E8_0003))]
 
     #[test]
     fn forward_retiming_preserves_traces(seed in 0u64..10_000, width in 2u32..10) {

@@ -1,0 +1,120 @@
+//! Negative paths of the soundness story:
+//!
+//! 1. A `Theorem` cannot be forged outside `hash-logic` — neither by
+//!    struct-literal construction nor by reaching the kernel's internal
+//!    `trusted` constructor. Verified by compiling a fixture crate that
+//!    attempts both and asserting the privacy errors.
+//! 2. A *failed* synthesis attempt (a faulty cut, the paper's Section
+//!    IV-C) leaves the trust base byte-for-byte unchanged and does not
+//!    poison the engine for subsequent successful runs.
+
+use retiming_suite::circuits::figure2::Figure2;
+use retiming_suite::core::prelude::*;
+use retiming_suite::retiming::prelude::*;
+use std::path::Path;
+use std::process::Command;
+
+/// Builds one forgery binary of the fixture crate and returns its stderr,
+/// asserting that the build failed and did NOT fail for an unrelated
+/// reason (an unresolved import would also fail the build, but that must
+/// not count as sealing).
+fn build_forgery(bin: &str) -> String {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/forgery_fixture");
+    let output = Command::new(env!("CARGO"))
+        .current_dir(&fixture)
+        .args(["build", "--quiet", "--bin", bin])
+        .output()
+        .expect("failed to spawn cargo for the forgery fixture");
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        !output.status.success(),
+        "forgery binary `{bin}` compiled — the Theorem type is no longer sealed!"
+    );
+    for unrelated in ["E0432", "E0433", "unresolved import", "cannot find"] {
+        assert!(
+            !stderr.contains(unrelated),
+            "forgery binary `{bin}` failed for an unrelated reason ({unrelated}), \
+             so the sealing check is vacuous:\n{stderr}"
+        );
+    }
+    stderr
+}
+
+#[test]
+fn a_theorem_cannot_be_forged_by_struct_literal() {
+    let stderr = build_forgery("forge_literal");
+    // rustc: error[E0451]: fields `hyps` and `concl` of struct `Theorem`
+    // are private.
+    assert!(
+        stderr.contains("E0451") && stderr.contains("private") && stderr.contains("hyps"),
+        "expected the struct-literal forgery to die on field privacy, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn a_theorem_cannot_be_forged_via_the_internal_constructor() {
+    let stderr = build_forgery("forge_trusted");
+    // rustc: error[E0624]: associated function `trusted` is private.
+    assert!(
+        stderr.contains("E0624") && stderr.contains("private") && stderr.contains("trusted"),
+        "expected the `trusted` constructor forgery to die on privacy, got:\n{stderr}"
+    );
+}
+
+/// A full snapshot of everything the paper counts as the trust base.
+fn trust_base_snapshot(hash: &Hash) -> (Vec<String>, usize, Vec<String>, String) {
+    let theory = hash.theory();
+    (
+        theory
+            .axioms()
+            .iter()
+            .map(|(name, thm)| format!("{name}: {thm}"))
+            .collect(),
+        theory.definitions().len(),
+        theory
+            .delta_rule_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        theory.trust_report(),
+    )
+}
+
+#[test]
+fn failed_synthesis_attempts_leave_the_trust_base_unchanged() {
+    let mut hash = Hash::new().unwrap();
+    let fig = Figure2::new(8);
+    let before = trust_base_snapshot(&hash);
+
+    // The paper's Figure-4 false cut fails...
+    assert!(hash
+        .formal_retime(&fig.netlist, &fig.false_cut(), RetimeOptions::default())
+        .is_err());
+    // ...and so does every invalid single-cell cut.
+    let valid_cuts = single_cell_cuts(&fig.netlist);
+    let mut failures = 0;
+    for cell in 0..fig.netlist.cells().len() {
+        let cut = Cut::new(vec![cell]);
+        if valid_cuts.iter().any(|c| c.cells == vec![cell]) {
+            continue;
+        }
+        assert!(
+            hash.formal_retime(&fig.netlist, &cut, RetimeOptions::default())
+                .is_err(),
+            "invalid cut {{ {cell} }} was accepted"
+        );
+        failures += 1;
+    }
+    assert!(failures > 0, "expected at least one faulty cut to exercise");
+
+    // The trust base is unchanged by every failed attempt.
+    assert_eq!(before, trust_base_snapshot(&hash));
+
+    // And the engine is not poisoned: the correct cut still synthesises a
+    // closed theorem afterwards, still without extending the trust base.
+    let result = hash
+        .formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+        .unwrap();
+    assert!(result.theorem.is_closed());
+    assert_eq!(before, trust_base_snapshot(&hash));
+}

@@ -1,0 +1,227 @@
+//! Value-generation strategies: a deterministic, shrink-free subset of
+//! proptest's `Strategy` machinery.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of type `Self::Value` from the test RNG.
+pub trait Strategy: Clone {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value deterministically from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Type-erases the strategy (the erased form is cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S: Strategy, O> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> O>,
+}
+
+impl<S: Strategy, O> Clone for Map<S, O> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S: Strategy, O> Strategy for Map<S, O> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among several strategies of the same value type; built by
+/// the `prop_oneof!` macro.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// String-pattern strategy: a `&str` is interpreted as a (tiny) regex.
+///
+/// Supported: a single character class such as `"[a-d]"` or `"[abcx-z]"`
+/// (one char drawn uniformly), and everything else as a literal string.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let bytes = self.as_bytes();
+        if bytes.len() >= 3 && bytes[0] == b'[' && bytes[bytes.len() - 1] == b']' {
+            let inner = &bytes[1..bytes.len() - 1];
+            let mut alphabet: Vec<char> = Vec::new();
+            let mut i = 0;
+            while i < inner.len() {
+                if i + 2 < inner.len() && inner[i + 1] == b'-' {
+                    for c in inner[i]..=inner[i + 2] {
+                        alphabet.push(c as char);
+                    }
+                    i += 3;
+                } else {
+                    alphabet.push(inner[i] as char);
+                    i += 1;
+                }
+            }
+            assert!(
+                !alphabet.is_empty(),
+                "empty character class pattern {self:?}"
+            );
+            let idx = rng.below(alphabet.len() as u64) as usize;
+            alphabet[idx].to_string()
+        } else {
+            (*self).to_string()
+        }
+    }
+}

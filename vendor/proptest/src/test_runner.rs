@@ -1,0 +1,132 @@
+//! The deterministic test runner and its RNG.
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is regenerated.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The result type a `proptest!` body is transformed into.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration for one `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// RNG seed. The default is fixed, so every run (locally and in CI)
+    /// explores the same cases.
+    pub rng_seed: u64,
+    /// Upper bound on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+/// Fixed default seed: the suites are reproducible by construction.
+pub const DEFAULT_RNG_SEED: u64 = 0x1997_0317_DA7E_0001;
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            rng_seed: DEFAULT_RNG_SEED,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration requiring `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// Overrides the RNG seed (chainable).
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+/// SplitMix64: tiny, fast, and plenty for test-case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero). The tiny
+    /// modulo bias is irrelevant for test-case generation.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        self.next_u64() % bound
+    }
+}
+
+/// Drives one `proptest!`-generated test function: draws cases from a
+/// seeded RNG until `config.cases` pass, a case fails, or the rejection
+/// budget is exhausted.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::from_seed(config.rng_seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut case_no: u64 = 0;
+    while passed < config.cases {
+        case_no += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: too many prop_assume! rejections \
+                         ({rejected}) after {passed} passing cases \
+                         (seed {:#x})",
+                        config.rng_seed
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case #{case_no} failed (seed {:#x}, \
+                     {passed} cases passed before it): {msg}",
+                    config.rng_seed
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Self-tests of the vendored proptest subset: the runner really executes
+//! bodies, failures really fail, rejection budgets hold, and generation is
+//! deterministic for a fixed seed.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::test_runner::{run, ProptestConfig, TestCaseError, TestRng};
+use std::cell::Cell;
+
+#[test]
+fn runner_executes_exactly_the_configured_number_of_passing_cases() {
+    let executed = Cell::new(0u32);
+    let config = ProptestConfig::with_cases(37);
+    run(&config, "counting", |_rng| {
+        executed.set(executed.get() + 1);
+        Ok(())
+    });
+    assert_eq!(executed.get(), 37);
+}
+
+#[test]
+#[should_panic(expected = "case #1 failed")]
+fn runner_panics_on_the_first_failing_case() {
+    let config = ProptestConfig::with_cases(10);
+    run(&config, "failing", |_rng| Err(TestCaseError::fail("boom")));
+}
+
+#[test]
+#[should_panic(expected = "too many prop_assume! rejections")]
+fn runner_panics_when_the_rejection_budget_is_exhausted() {
+    let config = ProptestConfig {
+        max_global_rejects: 5,
+        ..ProptestConfig::with_cases(1)
+    };
+    run(&config, "rejecting", |_rng| {
+        Err(TestCaseError::reject("never satisfiable"))
+    });
+}
+
+#[test]
+fn generation_is_deterministic_for_a_fixed_seed() {
+    let strategy = prop_oneof![
+        (0u32..100).prop_map(|x| x as u64),
+        (0u64..1_000_000).prop_map(|x| x + 1_000),
+    ];
+    let draw = |seed: u64| -> Vec<u64> {
+        let mut rng = TestRng::from_seed(seed);
+        (0..64).map(|_| strategy.generate(&mut rng)).collect()
+    };
+    assert_eq!(draw(42), draw(42));
+    assert_ne!(draw(42), draw(43));
+}
+
+#[test]
+fn range_strategies_respect_their_bounds() {
+    let mut rng = TestRng::from_seed(7);
+    for _ in 0..1_000 {
+        let x = (3u8..9).generate(&mut rng);
+        assert!((3..9).contains(&x));
+        let y = (-5i64..5).generate(&mut rng);
+        assert!((-5..5).contains(&y));
+    }
+}
+
+#[test]
+fn char_class_patterns_generate_single_chars_in_the_class() {
+    let mut rng = TestRng::from_seed(7);
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..200 {
+        let s = "[a-d]".generate(&mut rng);
+        assert_eq!(s.len(), 1);
+        let c = s.chars().next().unwrap();
+        assert!(('a'..='d').contains(&c), "{c:?} outside [a-d]");
+        seen.insert(c);
+    }
+    assert_eq!(seen.len(), 4, "all four chars should appear in 200 draws");
+}
+
+#[test]
+fn literal_patterns_generate_themselves() {
+    let mut rng = TestRng::from_seed(7);
+    assert_eq!("hello".generate(&mut rng), "hello");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn macro_level_assertions_work(x in 0u32..50, y in 50u32..100) {
+        prop_assert!(x < y);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_ne!(x, y);
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+}
