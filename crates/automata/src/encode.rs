@@ -234,7 +234,7 @@ pub fn encode_split(theory: &mut Theory, netlist: &Netlist, cut: &Cut) -> Result
     }
     for &ri in &kept_registers {
         let q = netlist.registers()[ri].output;
-        f_components.push(f_env[&q].clone());
+        f_components.push(f_env[&q]);
     }
     let f_tuple = mk_tuple(&f_components)?;
     let f_with_lets = enc.with_lets(theory, &f_cells, &f_env, f_tuple)?;
@@ -415,11 +415,11 @@ mod tests {
         assert!(init.aconv(&enc.init_term));
         // Types of the blocks.
         assert_eq!(
-            enc.f_term.ty().unwrap(),
+            enc.f_term.ty(),
             Type::fun(enc.state_ty.clone(), enc.mid_ty.clone())
         );
         assert_eq!(
-            enc.g_term.ty().unwrap(),
+            enc.g_term.ty(),
             Type::fun(
                 enc.input_ty.clone(),
                 Type::fun(

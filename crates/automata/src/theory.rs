@@ -20,7 +20,6 @@ use hash_logic::bool::{list_mk_forall, mk_conj, mk_imp};
 use hash_logic::pair::{mk_fst, mk_snd};
 use hash_logic::prelude::*;
 use hash_netlist::prelude::{BitVec, CombOp};
-use std::rc::Rc;
 
 /// The behaviour type constructor `beh(input, output)`.
 pub fn beh_ty(input: &Type, output: &Type) -> Type {
@@ -49,7 +48,7 @@ pub fn automaton_generic_ty() -> Type {
 ///
 /// Fails if the argument types do not fit the `automaton` signature.
 pub fn mk_automaton(comb: &TermRef, init: &TermRef) -> Result<TermRef> {
-    let cty = comb.ty()?;
+    let cty = comb.ty();
     let (input, rest) = cty.dest_fun()?;
     let (state, out_pair) = rest.dest_fun()?;
     let (output, _) = out_pair.dest_prod()?;
@@ -57,7 +56,7 @@ pub fn mk_automaton(comb: &TermRef, init: &TermRef) -> Result<TermRef> {
         "automaton",
         Type::fun(cty.clone(), Type::fun(state.clone(), beh_ty(input, output))),
     );
-    list_mk_comb(&a, &[Rc::clone(comb), Rc::clone(init)])
+    list_mk_comb(&a, &[*comb, *init])
 }
 
 /// Destructs `automaton comb init` into `(comb, init)`.
@@ -68,7 +67,7 @@ pub fn mk_automaton(comb: &TermRef, init: &TermRef) -> Result<TermRef> {
 pub fn dest_automaton(t: &TermRef) -> Result<(TermRef, TermRef)> {
     let (head, args) = t.strip_comb();
     match head.dest_const() {
-        Ok(c) if c.name == "automaton" && args.len() == 2 => Ok((args[0].clone(), args[1].clone())),
+        Ok(c) if c.name == "automaton" && args.len() == 2 => Ok((args[0], args[1])),
         _ => Err(LogicError::ill_formed(
             "dest_automaton",
             format!("not an automaton term: {t}"),
@@ -363,6 +362,6 @@ mod tests {
         assert!(op_const(&mut thy, &CombOp::Add, &[8, 4]).is_err());
         assert!(op_const(&mut thy, &CombOp::Mux, &[2, 8, 8]).is_err());
         let c = op_const(&mut thy, &CombOp::Const(BitVec::new(3, 4).unwrap()), &[]).unwrap();
-        assert_eq!(c.ty().unwrap(), Type::bv(4));
+        assert_eq!(c.ty(), Type::bv(4));
     }
 }

@@ -1,9 +1,16 @@
-//! Criterion bench for the logic kernel: deriving the universal retiming
-//! theorem (the tool designer's one-time cost) and composing theorems by
-//! transitivity (the per-compound-step cost).
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Criterion bench for the logic kernel.
+//!
+//! Besides the original one-time cost (deriving the universal retiming
+//! theorem) and the per-compound-step cost (transitivity), this bench pins
+//! the hash-consing arena's cost model: term equality and transitivity
+//! composition are measured at several term sizes and must stay flat —
+//! equality is an id compare and `TRANS` only re-interns an already-interned
+//! equation — while substitution over shared structure is memoised.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hash_bench::term_chain as chain;
 use hash_circuits::figure2::Figure2;
 use hash_core::prelude::*;
+use hash_logic::prelude::*;
 
 fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel");
@@ -20,6 +27,65 @@ fn bench_kernel(c: &mut Criterion) {
     group.bench_function("compound_transitivity", |b| {
         b.iter(|| hash.compound(&step1.theorem, &step2).unwrap())
     });
+    group.finish();
+
+    // O(1) structural equality: the two handles are ids, the terms huge.
+    let mut group = c.benchmark_group("term_eq");
+    for n in [100usize, 1_000, 10_000] {
+        let t1 = chain(n);
+        let t2 = chain(n);
+        group.bench_function(format!("eq_n{n}"), |b| {
+            b.iter(|| black_box(black_box(t1) == black_box(t2)))
+        });
+        group.bench_function(format!("aconv_n{n}"), |b| {
+            b.iter(|| black_box(t1.aconv(black_box(&t2))))
+        });
+    }
+    group.finish();
+
+    // O(1) transitivity in term size: TRANS on ⊢ a = b, ⊢ b = c where the
+    // terms are chains of increasing size. dest_eq, the aconv middle-term
+    // check (id compare) and the re-interning of `a = c` are all cache hits.
+    let mut group = c.benchmark_group("trans");
+    for n in [100usize, 1_000, 10_000] {
+        let a = chain(n);
+        let f = mk_var("f", Type::fun(Type::bool(), Type::bool()));
+        let b_t = mk_comb(&f, &a).unwrap();
+        let c_t = mk_comb(&f, &b_t).unwrap();
+        let th1 = Theorem::assume(&mk_eq(&a, &b_t).unwrap()).unwrap();
+        let th2 = Theorem::assume(&mk_eq(&b_t, &c_t).unwrap()).unwrap();
+        group.bench_function(format!("trans_n{n}"), |b| {
+            b.iter(|| Theorem::trans(black_box(&th1), black_box(&th2)).unwrap())
+        });
+    }
+    group.finish();
+
+    // Memoised substitution: replacing x deep inside the chain re-uses the
+    // (subst, term) cache across iterations.
+    let mut group = c.benchmark_group("subst");
+    for n in [100usize, 1_000, 10_000] {
+        let t = chain(n);
+        let x = Var::new("x", Type::bool());
+        let theta = vec![(x, mk_var("y", Type::bool()))];
+        group.bench_function(format!("vsubst_n{n}"), |b| {
+            b.iter(|| black_box(vsubst(black_box(&theta), &t)))
+        });
+    }
+    group.finish();
+
+    // Retiming-theorem instantiation at growing circuit width: the paper's
+    // "theorem instantiation, not state traversal" cost.
+    let mut group = c.benchmark_group("retime");
+    group.sample_size(10);
+    for n in [8u32, 32, 64] {
+        let fig = Figure2::new(n);
+        group.bench_function(format!("formal_retime_n{n}"), |b| {
+            b.iter(|| {
+                hash.formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+                    .unwrap()
+            })
+        });
+    }
     group.finish();
 }
 

@@ -1,10 +1,23 @@
 //! Ablation: the cost of composing synthesis theorems by transitivity
-//! compared with the cost of the individual steps.
-use hash_bench::ablation;
+//! compared with the cost of the individual steps. With the hash-consed
+//! kernel the per-step join and the composition must stay flat in `n`.
+//!
+//! `--json` emits a machine-readable snapshot.
+use hash_bench::{ablation, cli};
 
 fn main() {
-    for n in [4u32, 8, 16, 32] {
-        let (retime, join, compose) = ablation::compound(n);
-        println!("n={n}: retime {retime:.4}s, join {join:.4}s, compose {compose:.6}s");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows = ablation::compound_rows(&[4, 8, 16, 32]);
+    if cli::flag(&args, "--json") {
+        println!("{{");
+        println!("  \"experiment\": \"ablation_compound\",");
+        println!("  \"rows\": [");
+        println!("{}", ablation::compound_rows_json(&rows));
+        println!("  ]");
+        println!("}}");
+    } else {
+        for (n, retime, join, compose) in rows {
+            println!("n={n}: retime {retime:.4}s, join {join:.4}s, compose {compose:.6}s");
+        }
     }
 }

@@ -1,12 +1,35 @@
 //! Ablation: HASH formal-retiming cost as a function of the cut size.
-use hash_bench::ablation;
+//!
+//! `--json` emits a machine-readable snapshot.
+use hash_bench::{ablation, cli};
 
 fn main() {
-    let name = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = cli::positional(&args, &[])
+        .first()
+        .cloned()
         .unwrap_or_else(|| "s344".to_string());
-    println!("cut size\tHASH seconds ({name})");
-    for (size, secs) in ablation::cut_size(&name) {
-        println!("{size}\t{secs:.4}");
+    let rows = ablation::cut_size(&name);
+    if cli::flag(&args, "--json") {
+        println!("{{");
+        println!(
+            "  \"experiment\": \"ablation_cut\", \"benchmark\": \"{}\",",
+            hash_bench::json::esc(&name)
+        );
+        println!("  \"rows\": [");
+        for (i, (size, secs)) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            println!(
+                "    {{\"cut_size\": {size}, \"hash_seconds\": {}}}{comma}",
+                hash_bench::json::num(*secs)
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        println!("cut size\tHASH seconds ({name})");
+        for (size, secs) in rows {
+            println!("{size}\t{secs:.4}");
+        }
     }
 }

@@ -1,0 +1,97 @@
+//! Machine-readable kernel micro-benchmarks (the JSON twin of
+//! `benches/kernel.rs`, runnable without criterion): term equality,
+//! alpha-equivalence, transitivity and substitution at several term sizes,
+//! retiming-theorem instantiation at several circuit widths, and the
+//! per-step compound-composition costs.
+//!
+//! `cargo run --release -p hash-bench --bin kernel_perf > BENCH_kernel.json`
+//! records the perf-trajectory snapshot committed to the repository. The
+//! O(1) claims are visible directly in the output: the `*_n100` /
+//! `*_n1000` / `*_n10000` entries must be of the same magnitude.
+use hash_bench::{ablation, json, term_chain};
+use hash_circuits::figure2::Figure2;
+use hash_core::prelude::*;
+use hash_logic::prelude::*;
+use std::time::Instant;
+
+/// Median-of-runs nanoseconds per iteration of `f`.
+fn measure<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples = Vec::new();
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut benches: Vec<(String, f64)> = Vec::new();
+
+    for n in [100usize, 1_000, 10_000] {
+        let t1 = term_chain(n);
+        let t2 = term_chain(n);
+        benches.push((
+            format!("term_eq_n{n}"),
+            measure(100_000, || {
+                std::hint::black_box(t1) == std::hint::black_box(t2)
+            }),
+        ));
+        benches.push((format!("aconv_n{n}"), measure(100_000, || t1.aconv(&t2))));
+
+        let f = mk_var("f", Type::fun(Type::bool(), Type::bool()));
+        let b_t = mk_comb(&f, &t1).unwrap();
+        let c_t = mk_comb(&f, &b_t).unwrap();
+        let th1 = Theorem::assume(&mk_eq(&t1, &b_t).unwrap()).unwrap();
+        let th2 = Theorem::assume(&mk_eq(&b_t, &c_t).unwrap()).unwrap();
+        benches.push((
+            format!("trans_n{n}"),
+            measure(10_000, || Theorem::trans(&th1, &th2).unwrap()),
+        ));
+
+        let theta = vec![(Var::new("x", Type::bool()), mk_var("y", Type::bool()))];
+        benches.push((
+            format!("vsubst_n{n}"),
+            measure(10_000, || vsubst(&theta, &t1)),
+        ));
+    }
+
+    let mut hash = Hash::new().unwrap();
+    for n in [8u32, 32, 64] {
+        let fig = Figure2::new(n);
+        benches.push((
+            format!("formal_retime_n{n}"),
+            measure(20, || {
+                hash.formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+                    .unwrap()
+            }),
+        ));
+    }
+
+    // Compound-step trajectory: join and compose must stay flat in n.
+    let compound_rows = ablation::compound_rows(&[4, 8, 16, 32]);
+
+    let stats = hash_logic::term::arena_stats();
+    println!("{{");
+    println!("  \"experiment\": \"kernel\",");
+    println!("  \"benches\": [");
+    for (i, (name, ns)) in benches.iter().enumerate() {
+        let comma = if i + 1 == benches.len() { "" } else { "," };
+        println!(
+            "    {{\"name\": \"{name}\", \"ns_per_iter\": {}}}{comma}",
+            json::num(*ns)
+        );
+    }
+    println!("  ],");
+    println!("  \"compound\": [");
+    println!("{}", ablation::compound_rows_json(&compound_rows));
+    println!("  ],");
+    println!(
+        "  \"arena\": {{\"nodes\": {}, \"substs\": {}, \"vsubst_cache\": {}, \"aconv_cache\": {}, \"beta_cache\": {}}}",
+        stats.nodes, stats.substs, stats.vsubst_cache, stats.aconv_cache, stats.beta_cache
+    );
+    println!("}}");
+}

@@ -1,0 +1,120 @@
+//! CI perf-smoke check: re-runs the HASH column of Table I (best of three
+//! runs per width, to shave scheduler noise) and fails if any entry
+//! regresses past 10× the value recorded in the committed
+//! `BENCH_table1.json` snapshot, with a 25 ms absolute floor so the
+//! sub-millisecond entries cannot flake on a loaded CI machine (for those
+//! rows the effective gate is "slower than 25 ms", still far below any
+//! real state-space-traversal regression).
+//!
+//! Usage: `cargo run --release -p hash-bench --bin perf_smoke [--snapshot PATH]`
+use hash_bench::cli;
+use hash_circuits::figure2::Figure2;
+use hash_core::prelude::*;
+use std::time::Instant;
+
+/// Regression threshold: the current time may be at most 10× the recorded
+/// one...
+const FACTOR: f64 = 10.0;
+/// ...but never less than this absolute floor (seconds), so entries that
+/// were recorded as a few hundred microseconds do not flake on a loaded
+/// CI machine.
+const FLOOR_SECONDS: f64 = 0.025;
+/// Runs per width; the best (smallest) time is compared, which removes
+/// one-off scheduler hiccups without hiding a sustained regression.
+const RUNS: u32 = 3;
+
+/// Extracts `(n, hash_seconds)` pairs from the snapshot. The snapshot is
+/// emitted one row per line by `table1 --json`, so a line-oriented scan is
+/// enough — no JSON library needed (the container is offline).
+fn parse_snapshot(text: &str) -> Vec<(u32, f64, String)> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(n) = field(line, "\"n\": ") else {
+            continue;
+        };
+        let Some(hash_part) = line.split("\"hash\": {").nth(1) else {
+            continue;
+        };
+        let Some(secs) = field(hash_part, "\"seconds\": ") else {
+            continue;
+        };
+        let status = hash_part
+            .split("\"status\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or("?")
+            .to_string();
+        rows.push((n as u32, secs, status));
+    }
+    rows
+}
+
+/// Parses the number that follows `key` in `line`.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let rest = line.split(key).nth(1)?;
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = cli::opt_value(&args, "--snapshot").unwrap_or_else(|| "BENCH_table1.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_smoke: cannot read snapshot {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let recorded = parse_snapshot(&text);
+    if recorded.is_empty() {
+        eprintln!("perf_smoke: no rows found in {path}");
+        std::process::exit(2);
+    }
+
+    let mut hash_engine = Hash::new().expect("theories install");
+    let mut failures = 0usize;
+    println!("n\trecorded\tcurrent\tlimit\tverdict");
+    for (n, recorded_secs, status) in recorded {
+        if status != "ok" {
+            println!("{n}\t({status})\t-\t-\tskipped");
+            continue;
+        }
+        let fig = Figure2::new(n);
+        let mut current = f64::INFINITY;
+        let mut result = Err(());
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            let attempt = hash_engine.formal_retime(
+                &fig.netlist,
+                &fig.correct_cut(),
+                RetimeOptions::default(),
+            );
+            current = current.min(start.elapsed().as_secs_f64());
+            result = attempt.map(|_| ()).map_err(|_| ());
+            if result.is_err() {
+                break;
+            }
+        }
+        let limit = (recorded_secs * FACTOR).max(FLOOR_SECONDS);
+        let verdict = match (&result, current <= limit) {
+            (Ok(_), true) => "ok",
+            (Ok(_), false) => {
+                failures += 1;
+                "REGRESSED"
+            }
+            (Err(_), _) => {
+                failures += 1;
+                "FAILED"
+            }
+        };
+        println!("{n}\t{recorded_secs:.6}\t{current:.6}\t{limit:.6}\t{verdict}");
+    }
+    if failures > 0 {
+        eprintln!("perf_smoke: {failures} HASH entr(y/ies) regressed past the 10x threshold");
+        std::process::exit(1);
+    }
+    println!("perf_smoke: all HASH entries within threshold");
+}

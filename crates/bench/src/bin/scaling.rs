@@ -1,9 +1,23 @@
 //! The multiplier-family scaling study of Section V: HASH cost grows
 //! moderately with the bit width while model checking blows up.
-use hash_bench::scaling;
+//!
+//! `--json` emits a machine-readable snapshot; `--widths a,b,c` and
+//! `--node-limit N` override the defaults.
+use hash_bench::{cli, scaling};
 
 fn main() {
-    let rows = scaling::run(&[8, 16, 32], 200_000);
-    println!("Multiplier scaling (Section V)");
-    print!("{}", scaling::render(&rows));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let widths: Vec<u32> = cli::opt_value(&args, "--widths")
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![8, 16, 32]);
+    let node_limit: usize = cli::opt_value(&args, "--node-limit")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let rows = scaling::run(&widths, node_limit);
+    if cli::flag(&args, "--json") {
+        print!("{}", scaling::render_json(&rows, node_limit));
+    } else {
+        println!("Multiplier scaling (Section V)");
+        print!("{}", scaling::render(&rows));
+    }
 }

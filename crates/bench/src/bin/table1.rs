@@ -1,13 +1,25 @@
 //! Regenerates Table I of the paper: the scalable Figure-2 example swept
 //! over the bit width, comparing SIS, SMV and HASH.
-use hash_bench::table1;
+//!
+//! `--json` emits the machine-readable snapshot committed as
+//! `BENCH_table1.json` (the perf trajectory the CI smoke check compares
+//! against); `--node-limit N` bounds the model checker's BDD.
+use hash_bench::{cli, table1};
 
 fn main() {
-    let widths: Vec<u32> = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let node_limit: usize = cli::opt_value(&args, "--node-limit")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    let widths: Vec<u32> = cli::positional(&args, &["--node-limit"])
+        .first()
         .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![2, 4, 6, 8, 12, 16, 24, 32, 48, 64]);
-    let rows = table1::run(&widths, 300_000);
-    println!("Table I — scalable example from Figure 2 (times in seconds, '-' = blow-up)");
-    print!("{}", table1::render(&rows));
+    let rows = table1::run(&widths, node_limit);
+    if cli::flag(&args, "--json") {
+        print!("{}", table1::render_json(&rows, node_limit));
+    } else {
+        println!("Table I — scalable example from Figure 2 (times in seconds, '-' = blow-up)");
+        print!("{}", table1::render(&rows));
+    }
 }

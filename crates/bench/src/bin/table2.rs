@@ -1,13 +1,43 @@
 //! Regenerates Table II of the paper: IWLS'91-style benchmarks compared
 //! across Eijk, Eijk+, SIS and HASH.
-use hash_bench::table2;
+//!
+//! The van Eijk limits are configurable: `--node-limit N`,
+//! `--max-iterations N`, `--max-refinements N` (PR 1's open item was that
+//! a too-small node limit made every Eijk entry blow up; see
+//! EXPERIMENTS.md for the sweep). `--json` emits the machine-readable
+//! snapshot. A positional number is still accepted as the node limit for
+//! backwards compatibility.
+use hash_bench::{cli, table2};
+
+const VALUE_FLAGS: &[&str] = &["--node-limit", "--max-iterations", "--max-refinements"];
 
 fn main() {
-    let node_limit: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = table2::default_options();
+    if let Some(n) = cli::positional(&args, VALUE_FLAGS)
+        .first()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
-    let rows = table2::run(node_limit);
-    println!("Table II — IWLS'91-style benchmarks (times in seconds, '-' = blow-up)");
-    print!("{}", table2::render(&rows));
+    {
+        options = options.with_node_limit(n);
+    }
+    if let Some(n) = cli::opt_value(&args, "--node-limit").and_then(|s| s.parse().ok()) {
+        options = options.with_node_limit(n);
+    }
+    if let Some(n) = cli::opt_value(&args, "--max-iterations").and_then(|s| s.parse().ok()) {
+        options = options.with_max_iterations(n);
+    }
+    if let Some(n) = cli::opt_value(&args, "--max-refinements").and_then(|s| s.parse().ok()) {
+        options = options.with_max_refinements(n);
+    }
+    let rows = table2::run_with(options);
+    if cli::flag(&args, "--json") {
+        print!("{}", table2::render_json(&rows, &options));
+    } else {
+        println!(
+            "Table II — IWLS'91-style benchmarks (times in seconds, '-' = blow-up; \
+             Eijk node limit {}, max {} iterations)",
+            options.node_limit, options.max_iterations
+        );
+        print!("{}", table2::render(&rows));
+    }
 }

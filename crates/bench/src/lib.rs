@@ -54,6 +54,78 @@ impl Timing {
             _ => "?".to_string(),
         }
     }
+
+    /// The timing as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seconds\": {}, \"status\": \"{}\"}}",
+            json::num(self.seconds),
+            self.status
+        )
+    }
+}
+
+/// Builds the application chain `f^n(x)` in the logic kernel (term size
+/// 2n + 1) — the standard large-term workload of the kernel benches
+/// (`benches/kernel.rs` and the `kernel_perf` binary).
+pub fn term_chain(n: usize) -> hash_logic::TermRef {
+    use hash_logic::prelude::*;
+    let f = mk_var("f", Type::fun(Type::bool(), Type::bool()));
+    let mut t = mk_var("x", Type::bool());
+    for _ in 0..n {
+        t = mk_comb(&f, &t).unwrap();
+    }
+    t
+}
+
+/// Tiny argv helpers shared by the experiment binaries.
+pub mod cli {
+    /// Whether the flag (e.g. `--json`) is present.
+    pub fn flag(args: &[String], name: &str) -> bool {
+        args.iter().any(|a| a == name)
+    }
+
+    /// The value following `--name`, if any.
+    pub fn opt_value(args: &[String], name: &str) -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    }
+
+    /// Positional (non-flag) arguments. `value_flags` lists this binary's
+    /// flags that consume the following argument (e.g. `--node-limit`),
+    /// so their values are not misparsed as positionals.
+    pub fn positional(args: &[String], value_flags: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                skip = value_flags.iter().any(|f| f == a);
+                continue;
+            }
+            out.push(a.clone());
+        }
+        out
+    }
+}
+
+/// Tiny hand-rolled JSON emission helpers (the container is offline, so no
+/// serde; the formats are small and fixed).
+pub mod json {
+    /// Formats a float with stable precision for the snapshot files.
+    pub fn num(x: f64) -> String {
+        format!("{x:.6}")
+    }
+
+    /// Escapes a string for inclusion in a JSON literal.
+    pub fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
 }
 
 fn timing_of(result: &VerificationResult) -> Timing {
@@ -150,6 +222,31 @@ pub mod table1 {
             .collect()
     }
 
+    /// Renders the rows as a machine-readable JSON document (one row per
+    /// line, so the perf-smoke check can parse it without a JSON library).
+    pub fn render_json(rows: &[Row], node_limit: usize) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"table1\",\n");
+        out.push_str(&format!("  \"node_limit\": {node_limit},\n"));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"n\": {}, \"flip_flops\": {}, \"gates\": {}, \"sis\": {}, \"smv\": {}, \"hash\": {}}}{}\n",
+                r.n,
+                r.flip_flops,
+                r.gates,
+                r.sis.to_json(),
+                r.smv.to_json(),
+                r.hash.to_json(),
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Formats the rows like the paper's Table I.
     pub fn render(rows: &[Row]) -> String {
         let mut out = String::from("n\tflipflops\tgates\tSIS\tSMV\tHASH\n");
@@ -192,8 +289,26 @@ pub mod table2 {
         pub hash: Timing,
     }
 
-    /// Runs the Table-II experiment over the benchmark suite.
+    /// The Table-II van Eijk limits. These were PR 1's open item: with the
+    /// old 100k-node default every Eijk entry blew up. The sweep recorded
+    /// in EXPERIMENTS.md showed the smallest entries (s344, s444) complete
+    /// once the limit reaches 8M nodes while the rest keep blowing up at
+    /// any limit tried — so 8M is the default: large enough that a dash
+    /// means genuine state-space growth, small enough that a full run
+    /// stays in minutes.
+    pub fn default_options() -> EijkOptions {
+        EijkOptions::new(8_000_000, 2_000, 16)
+    }
+
+    /// Runs the Table-II experiment with the given node limit (other knobs
+    /// at their defaults).
     pub fn run(node_limit: usize) -> Vec<Row> {
+        run_with(default_options().with_node_limit(node_limit))
+    }
+
+    /// Runs the Table-II experiment with full control over the van Eijk
+    /// limits.
+    pub fn run_with(opts: EijkOptions) -> Vec<Row> {
         let mut hash_engine = Hash::new().expect("theories install");
         table2_benchmarks()
             .iter()
@@ -203,11 +318,6 @@ pub mod table2 {
                 let cut = maximal_forward_cut(&netlist);
                 let retimed = forward_retime(&netlist, &cut).expect("benchmark is retimable");
 
-                let opts = EijkOptions {
-                    node_limit,
-                    max_iterations: 2_000,
-                    max_refinements: 16,
-                };
                 let eijk = timing_of(&check_equivalence_eijk(&netlist, &retimed, opts));
                 let eijk_plus = timing_of(&check_equivalence_eijk_plus(&netlist, &retimed, opts));
                 let sis = timing_of(&check_equivalence_sis(
@@ -238,6 +348,34 @@ pub mod table2 {
                 }
             })
             .collect()
+    }
+
+    /// Renders the rows as a machine-readable JSON document.
+    pub fn render_json(rows: &[Row], options: &EijkOptions) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"table2\",\n");
+        out.push_str(&format!(
+            "  \"node_limit\": {}, \"max_iterations\": {}, \"max_refinements\": {},\n",
+            options.node_limit, options.max_iterations, options.max_refinements
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"flip_flops\": {}, \"gates\": {}, \"eijk\": {}, \"eijk_plus\": {}, \"sis\": {}, \"hash\": {}}}{}\n",
+                crate::json::esc(&r.name),
+                r.flip_flops,
+                r.gates,
+                r.eijk.to_json(),
+                r.eijk_plus.to_json(),
+                r.sis.to_json(),
+                r.hash.to_json(),
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// Formats the rows like the paper's Table II.
@@ -309,6 +447,27 @@ pub mod scaling {
             .collect()
     }
 
+    /// Renders the rows as a machine-readable JSON document.
+    pub fn render_json(rows: &[Row], node_limit: usize) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"scaling\",\n");
+        out.push_str(&format!("  \"node_limit\": {node_limit},\n"));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"width\": {}, \"hash\": {}, \"smv\": {}}}{}\n",
+                r.width,
+                r.hash.to_json(),
+                r.smv.to_json(),
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Formats the rows, including the growth factor between successive
     /// widths (the paper reports ~3 per doubling for HASH and much larger
     /// factors for the checkers).
@@ -371,6 +530,39 @@ pub mod ablation {
             }
         }
         rows
+    }
+
+    /// One row of the compound-step trajectory: circuit width and the
+    /// retime / join / compose costs in seconds.
+    pub type CompoundRow = (u32, f64, f64, f64);
+
+    /// Runs [`compound`] over a sweep of widths.
+    pub fn compound_rows(widths: &[u32]) -> Vec<CompoundRow> {
+        widths
+            .iter()
+            .map(|&n| {
+                let (retime, join, compose) = compound(n);
+                (n, retime, join, compose)
+            })
+            .collect()
+    }
+
+    /// Renders compound rows as the JSON row list shared by the
+    /// `ablation_compound` and `kernel_perf` snapshots (one schema, one
+    /// place).
+    pub fn compound_rows_json(rows: &[CompoundRow]) -> String {
+        let lines: Vec<String> = rows
+            .iter()
+            .map(|(n, retime, join, compose)| {
+                format!(
+                    "    {{\"n\": {n}, \"retime_seconds\": {}, \"join_seconds\": {}, \"compose_seconds\": {}}}",
+                    crate::json::num(*retime),
+                    crate::json::num(*join),
+                    crate::json::num(*compose)
+                )
+            })
+            .collect();
+        lines.join(",\n")
     }
 
     /// Compound-step composition: the cost of composing a retiming theorem

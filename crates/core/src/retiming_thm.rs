@@ -25,7 +25,6 @@ use hash_logic::bool::{dest_conj, dest_forall, dest_imp, BoolTheory};
 use hash_logic::conv::beta_spine_thm;
 use hash_logic::pair::{mk_fst, mk_pair, mk_snd, PairTheory};
 use hash_logic::prelude::*;
-use std::rc::Rc;
 
 /// The universal retiming theorem together with the free variables used to
 /// instantiate it for a concrete circuit.
@@ -101,18 +100,12 @@ pub fn derive_retiming_theorem(
     let fq = mk_comb(&f_var.term(), &q_var.term())?;
 
     // Sanity: the two combinational functions have the expected types.
-    debug_assert_eq!(c1_term.ty()?, comb_ty(&ity, &sty, &oty));
-    debug_assert_eq!(c2_term.ty()?, comb_ty(&ity, &tty, &oty));
+    debug_assert_eq!(c1_term.ty(), comb_ty(&ity, &sty, &oty));
+    debug_assert_eq!(c2_term.ty(), comb_ty(&ity, &tty, &oty));
 
     // Specialise the bisimulation axiom.
     let th0 = bools.spec_list(
-        &[
-            Rc::clone(&r_term),
-            Rc::clone(&c1_term),
-            Rc::clone(&c2_term),
-            q_var.term(),
-            Rc::clone(&fq),
-        ],
+        &[r_term, c1_term, c2_term, q_var.term(), fq],
         &automata.bisim_axiom,
     )?;
     let (premise_target, _conclusion) = dest_imp(th0.concl())?;
@@ -140,11 +133,11 @@ pub fn derive_retiming_theorem(
     let (fst_c2, c2_app) = rhs_a.dest_comb()?;
 
     // fst (c1 i s1) = fst (g i (f s1))
-    let spine_c1 = beta_spine_thm(c1_app)?;
-    let th_l = Theorem::ap_term(fst_c1, &spine_c1)?;
+    let spine_c1 = beta_spine_thm(&c1_app)?;
+    let th_l = Theorem::ap_term(&fst_c1, &spine_c1)?;
     // fst (c2 i s2) = fst (g i s2)
-    let spine_c2 = beta_spine_thm(c2_app)?;
-    let th_r1 = Theorem::ap_term(fst_c2, &spine_c2)?;
+    let spine_c2 = beta_spine_thm(&c2_app)?;
+    let th_r1 = Theorem::ap_term(&fst_c2, &spine_c2)?;
     let (_, fst_pair_term) = th_r1.dest_eq()?;
     let th_r2 = hash_logic::conv::rewr_conv(&pairs.fst_pair, &fst_pair_term)?;
     let th_r = Theorem::trans(&th_r1, &th_r2)?;
@@ -152,8 +145,8 @@ pub fn derive_retiming_theorem(
     let (_, fst_gis2) = th_r.dest_eq()?;
     let (fst_inst, gis2) = fst_gis2.dest_comb()?;
     let (gi, _) = gis2.dest_comb()?;
-    let cong_g = Theorem::ap_term(gi, &h)?;
-    let cong_fst = Theorem::ap_term(fst_inst, &cong_g)?;
+    let cong_g = Theorem::ap_term(&gi, &h)?;
+    let cong_fst = Theorem::ap_term(&fst_inst, &cong_g)?;
     // fst (c1 i s1) = fst (c2 i s2)
     let chain2 = Theorem::trans(&th_r, &cong_fst)?;
     let a_thm = Theorem::trans(&th_l, &chain2.sym()?)?;
@@ -165,19 +158,19 @@ pub fn derive_retiming_theorem(
     let (lhs_b, rhs_b) = reduced_b.dest_eq()?;
     // lhs_b = snd (c2 i s2), rhs_b = f (snd (c1 i s1)).
     let (snd_c2, _) = lhs_b.dest_comb()?;
-    let th1 = Theorem::ap_term(snd_c2, &spine_c2)?;
+    let th1 = Theorem::ap_term(&snd_c2, &spine_c2)?;
     let (_, snd_pair_term) = th1.dest_eq()?;
     let th2 = hash_logic::conv::rewr_conv(&pairs.snd_pair, &snd_pair_term)?;
     // th2 rhs is  f (snd (g i s2)).
     let (_, f_snd_gis2) = th2.dest_eq()?;
     let (f_head, snd_gis2) = f_snd_gis2.dest_comb()?;
     let (snd_inst, _) = snd_gis2.dest_comb()?;
-    let th3 = Theorem::ap_term(f_head, &Theorem::ap_term(snd_inst, &cong_g)?)?;
+    let th3 = Theorem::ap_term(&f_head, &Theorem::ap_term(&snd_inst, &cong_g)?)?;
     // f (snd (g i (f s1))) = f (snd (c1 i s1))
-    let th4 = Theorem::ap_term(f_head, &Theorem::ap_term(snd_inst, &spine_c1.sym()?)?)?;
+    let th4 = Theorem::ap_term(&f_head, &Theorem::ap_term(&snd_inst, &spine_c1.sym()?)?)?;
     let target_eq = Theorem::trans_chain(&[th1, th2, th3, th4])?;
     // Sanity: the derived equation matches the reduced target shape.
-    debug_assert!(target_eq.concl().dest_eq()?.1.aconv(rhs_b));
+    debug_assert!(target_eq.concl().dest_eq()?.1.aconv(&rhs_b));
     let b_thm = Theorem::eq_mp(&spine_b.sym()?, &target_eq)?;
 
     let conj_thm = bools.conj(&a_thm, &b_thm)?;
@@ -221,8 +214,8 @@ mod tests {
         assert!(rt.theorem.is_closed(), "no leftover hypotheses");
         let (lhs, rhs) = rt.theorem.concl().dest_eq().unwrap();
         // Both sides are automaton terms.
-        let (c1, q1) = dest_automaton(lhs).unwrap();
-        let (c2, q2) = dest_automaton(rhs).unwrap();
+        let (c1, q1) = dest_automaton(&lhs).unwrap();
+        let (c2, q2) = dest_automaton(&rhs).unwrap();
         assert!(q1.aconv(&rt.q_var.term()));
         // The retimed initial state is f q.
         let (fh, fa) = q2.dest_comb().unwrap();
@@ -234,7 +227,7 @@ mod tests {
         let mut expected = vec![rt.f_var.clone(), rt.g_var.clone(), rt.q_var.clone()];
         expected.sort();
         assert_eq!(frees, expected);
-        assert!(c1.ty().is_ok() && c2.ty().is_ok());
+        let _ = (c1.ty(), c2.ty());
     }
 
     #[test]
@@ -249,8 +242,8 @@ mod tests {
         let inst = rt.theorem.inst_type(&subst);
         assert!(inst.is_closed());
         let (lhs, _) = inst.concl().dest_eq().unwrap();
-        let (_, q) = dest_automaton(lhs).unwrap();
-        assert_eq!(q.ty().unwrap(), Type::bv(8));
+        let (_, q) = dest_automaton(&lhs).unwrap();
+        assert_eq!(q.ty(), Type::bv(8));
     }
 
     #[test]

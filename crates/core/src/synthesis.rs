@@ -28,7 +28,6 @@ use hash_logic::conv::inst_theorem;
 use hash_logic::prelude::*;
 use hash_netlist::prelude::*;
 use hash_retiming::prelude::{forward_retime, maximal_forward_cut, Cut};
-use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// The result of a formal retiming step.
@@ -143,9 +142,9 @@ impl Hash {
         type_subst.insert("s".into(), encoding.state_ty.clone());
         type_subst.insert("t".into(), encoding.mid_ty.clone());
         let term_subst: TermSubst = vec![
-            (self.retiming.f_var.clone(), Rc::clone(&encoding.f_term)),
-            (self.retiming.g_var.clone(), Rc::clone(&encoding.g_term)),
-            (self.retiming.q_var.clone(), Rc::clone(&encoding.init_term)),
+            (self.retiming.f_var.clone(), encoding.f_term),
+            (self.retiming.g_var.clone(), encoding.g_term),
+            (self.retiming.q_var.clone(), encoding.init_term),
         ];
         let mut theorem = inst_theorem(&self.retiming.theorem, &type_subst, &term_subst)?;
 
@@ -167,7 +166,7 @@ impl Hash {
         let (_, fq_term) = dest_automaton(&rhs)?;
         let eval_thm = eval_ground(&self.theory, &self.pairs, &fq_term)?;
         let (rhs_rator, _) = rhs.dest_comb()?;
-        let rhs_update = Theorem::ap_term(rhs_rator, &eval_thm)?;
+        let rhs_update = Theorem::ap_term(&rhs_rator, &eval_thm)?;
         theorem = Theorem::trans(&theorem, &rhs_update)?;
 
         let derivation_time = start.elapsed();
@@ -225,7 +224,7 @@ impl Hash {
         let conv = rw.rewrite(&comb)?;
         let (automaton_partial, _) = rhs.dest_comb()?;
         let (automaton_const, _) = automaton_partial.dest_comb()?;
-        let cong = Theorem::ap_term(automaton_const, &conv)?;
+        let cong = Theorem::ap_term(&automaton_const, &conv)?;
         Ok(Theorem::ap_thm(&cong, &init)?)
     }
 

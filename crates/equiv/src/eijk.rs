@@ -48,6 +48,37 @@ impl Default for EijkOptions {
     }
 }
 
+impl EijkOptions {
+    /// Creates fully explicit options. Callers that sweep the limits (the
+    /// Table-II harness, EXPERIMENTS.md reruns) use this instead of
+    /// struct-literal updates so the knobs are visible at the call site.
+    pub fn new(node_limit: usize, max_iterations: usize, max_refinements: usize) -> EijkOptions {
+        EijkOptions {
+            node_limit,
+            max_iterations,
+            max_refinements,
+        }
+    }
+
+    /// Replaces the BDD node limit.
+    pub fn with_node_limit(mut self, node_limit: usize) -> EijkOptions {
+        self.node_limit = node_limit;
+        self
+    }
+
+    /// Replaces the traversal-step limit.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> EijkOptions {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Replaces the correspondence-refinement limit.
+    pub fn with_max_refinements(mut self, max_refinements: usize) -> EijkOptions {
+        self.max_refinements = max_refinements;
+        self
+    }
+}
+
 /// The basic van Eijk checker: frontier-based symbolic product traversal.
 pub fn check_equivalence_eijk(
     a: &Netlist,
@@ -293,6 +324,22 @@ mod tests {
         wrong.mark_output(y);
         let r = check_equivalence_eijk_plus(&fig.netlist, &wrong, EijkOptions::default());
         assert_eq!(r.verdict, Verdict::NotEquivalent);
+    }
+
+    #[test]
+    fn options_builders_compose() {
+        let o = EijkOptions::default()
+            .with_node_limit(123)
+            .with_max_iterations(45)
+            .with_max_refinements(6);
+        assert_eq!(o.node_limit, 123);
+        assert_eq!(o.max_iterations, 45);
+        assert_eq!(o.max_refinements, 6);
+        let n = EijkOptions::new(1, 2, 3);
+        assert_eq!(
+            (n.node_limit, n.max_iterations, n.max_refinements),
+            (1, 2, 3)
+        );
     }
 
     #[test]

@@ -13,7 +13,6 @@ use crate::term::{list_mk_comb, mk_abs, mk_comb, mk_const, variant, Term, TermRe
 use crate::theory::Theory;
 use crate::thm::Theorem;
 use crate::types::{Type, TypeSubst};
-use std::rc::Rc;
 
 /// The boolean theory: definitional theorems for the connectives plus the
 /// derived rules.
@@ -59,10 +58,7 @@ fn bin_bool_ty() -> Type {
 ///
 /// Fails if either argument is not boolean.
 pub fn mk_conj(p: &TermRef, q: &TermRef) -> Result<TermRef> {
-    list_mk_comb(
-        &mk_const("/\\", bin_bool_ty()),
-        &[Rc::clone(p), Rc::clone(q)],
-    )
+    list_mk_comb(&mk_const("/\\", bin_bool_ty()), &[*p, *q])
 }
 
 /// Builds the implication `p ==> q`.
@@ -71,10 +67,7 @@ pub fn mk_conj(p: &TermRef, q: &TermRef) -> Result<TermRef> {
 ///
 /// Fails if either argument is not boolean.
 pub fn mk_imp(p: &TermRef, q: &TermRef) -> Result<TermRef> {
-    list_mk_comb(
-        &mk_const("==>", bin_bool_ty()),
-        &[Rc::clone(p), Rc::clone(q)],
-    )
+    list_mk_comb(&mk_const("==>", bin_bool_ty()), &[*p, *q])
 }
 
 /// Builds the disjunction `p \/ q`.
@@ -83,10 +76,7 @@ pub fn mk_imp(p: &TermRef, q: &TermRef) -> Result<TermRef> {
 ///
 /// Fails if either argument is not boolean.
 pub fn mk_disj(p: &TermRef, q: &TermRef) -> Result<TermRef> {
-    list_mk_comb(
-        &mk_const("\\/", bin_bool_ty()),
-        &[Rc::clone(p), Rc::clone(q)],
-    )
+    list_mk_comb(&mk_const("\\/", bin_bool_ty()), &[*p, *q])
 }
 
 /// Builds the negation `~p`.
@@ -104,7 +94,7 @@ pub fn mk_neg(p: &TermRef) -> Result<TermRef> {
 ///
 /// Fails if the body is not boolean.
 pub fn mk_forall(v: &Var, body: &TermRef) -> Result<TermRef> {
-    if !body.ty()?.is_bool() {
+    if !body.ty().is_bool() {
         return Err(LogicError::ill_formed(
             "mk_forall",
             format!("body is not boolean: {body}"),
@@ -123,7 +113,7 @@ pub fn mk_forall(v: &Var, body: &TermRef) -> Result<TermRef> {
 ///
 /// Fails if the body is not boolean.
 pub fn mk_exists(v: &Var, body: &TermRef) -> Result<TermRef> {
-    if !body.ty()?.is_bool() {
+    if !body.ty().is_bool() {
         return Err(LogicError::ill_formed(
             "mk_exists",
             format!("body is not boolean: {body}"),
@@ -142,7 +132,7 @@ pub fn mk_exists(v: &Var, body: &TermRef) -> Result<TermRef> {
 ///
 /// Fails if the body is not boolean.
 pub fn list_mk_forall(vars: &[Var], body: &TermRef) -> Result<TermRef> {
-    let mut acc = Rc::clone(body);
+    let mut acc = *body;
     for v in vars.iter().rev() {
         acc = mk_forall(v, &acc)?;
     }
@@ -158,17 +148,17 @@ pub fn list_mk_conj(ps: &[TermRef]) -> Result<TermRef> {
     let (last, init) = ps
         .split_last()
         .ok_or_else(|| LogicError::ill_formed("list_mk_conj", "empty conjunction".to_string()))?;
-    let mut acc = Rc::clone(last);
+    let mut acc = *last;
     for p in init.iter().rev() {
         acc = mk_conj(p, &acc)?;
     }
     Ok(acc)
 }
 
-fn dest_binop<'a>(name: &str, t: &'a Term) -> Option<(&'a TermRef, &'a TermRef)> {
-    if let Term::Comb(fl, r) = t {
-        if let Term::Comb(op, l) = fl.as_ref() {
-            if let Term::Const(c) = op.as_ref() {
+fn dest_binop(name: &str, t: &TermRef) -> Option<(TermRef, TermRef)> {
+    if let Term::Comb(fl, r) = t.view() {
+        if let Term::Comb(op, l) = fl.view() {
+            if let Term::Const(c) = op.view() {
                 if c.name == name {
                     return Some((l, r));
                 }
@@ -183,9 +173,8 @@ fn dest_binop<'a>(name: &str, t: &'a Term) -> Option<(&'a TermRef, &'a TermRef)>
 /// # Errors
 ///
 /// Fails if the term is not a conjunction.
-pub fn dest_conj(t: &Term) -> Result<(TermRef, TermRef)> {
+pub fn dest_conj(t: &TermRef) -> Result<(TermRef, TermRef)> {
     dest_binop("/\\", t)
-        .map(|(l, r)| (Rc::clone(l), Rc::clone(r)))
         .ok_or_else(|| LogicError::ill_formed("dest_conj", format!("not a conjunction: {t}")))
 }
 
@@ -194,9 +183,8 @@ pub fn dest_conj(t: &Term) -> Result<(TermRef, TermRef)> {
 /// # Errors
 ///
 /// Fails if the term is not an implication.
-pub fn dest_imp(t: &Term) -> Result<(TermRef, TermRef)> {
+pub fn dest_imp(t: &TermRef) -> Result<(TermRef, TermRef)> {
     dest_binop("==>", t)
-        .map(|(l, r)| (Rc::clone(l), Rc::clone(r)))
         .ok_or_else(|| LogicError::ill_formed("dest_imp", format!("not an implication: {t}")))
 }
 
@@ -205,12 +193,12 @@ pub fn dest_imp(t: &Term) -> Result<(TermRef, TermRef)> {
 /// # Errors
 ///
 /// Fails if the term is not a universal quantification.
-pub fn dest_forall(t: &Term) -> Result<(Var, TermRef)> {
-    if let Term::Comb(q, abs) = t {
-        if let Term::Const(c) = q.as_ref() {
+pub fn dest_forall(t: &TermRef) -> Result<(Var, TermRef)> {
+    if let Term::Comb(q, abs) = t.view() {
+        if let Term::Const(c) = q.view() {
             if c.name == "!" {
-                if let Term::Abs(v, body) = abs.as_ref() {
-                    return Ok((v.clone(), Rc::clone(body)));
+                if let Term::Abs(v, body) = abs.view() {
+                    return Ok((v, body));
                 }
             }
         }
@@ -334,8 +322,8 @@ impl BoolTheory {
 
     /// `CONJ`: from `Γ ⊢ p` and `Δ ⊢ q`, derive `Γ ∪ Δ ⊢ p /\ q`.
     pub fn conj(&self, th1: &Theorem, th2: &Theorem) -> Result<Theorem> {
-        let p = Rc::clone(th1.concl());
-        let q = Rc::clone(th2.concl());
+        let p = *th1.concl();
+        let q = *th2.concl();
         let mut avoid = p.free_vars();
         avoid.extend(q.free_vars());
         for h in th1.hyps().iter().chain(th2.hyps().iter()) {
@@ -370,8 +358,8 @@ impl BoolTheory {
         let step1 = Theorem::beta(outer)?;
         let (_, spq) = step1.dest_eq()?;
         let (sp, qq) = spq.dest_comb()?;
-        let bth = Theorem::beta(sp)?;
-        let lifted = Theorem::ap_thm(&bth, qq)?;
+        let bth = Theorem::beta(&sp)?;
+        let lifted = Theorem::ap_thm(&bth, &qq)?;
         let (_, rb) = lifted.dest_eq()?;
         let step3 = Theorem::beta(&rb)?;
         Theorem::trans_chain(&[step1, lifted, step3])
@@ -379,7 +367,7 @@ impl BoolTheory {
 
     fn conjunct(&self, th: &Theorem, first: bool) -> Result<Theorem> {
         let (p, q) = dest_conj(th.concl())?;
-        let def_applied = apply_def(&self.and_def, &[Rc::clone(&p), Rc::clone(&q)])?;
+        let def_applied = apply_def(&self.and_def, &[p, q])?;
         let th1 = Theorem::eq_mp(&def_applied, th)?;
         let a = Var::new("a", Type::bool());
         let b = Var::new("b", Type::bool());
@@ -424,11 +412,11 @@ impl BoolTheory {
 
     /// `DISCH`: from `Γ ⊢ q`, derive `Γ \ {a} ⊢ a ==> q`.
     pub fn disch(&self, a: &TermRef, th: &Theorem) -> Result<Theorem> {
-        let q = Rc::clone(th.concl());
+        let q = *th.concl();
         let th1 = self.conj(&Theorem::assume(a)?, th)?;
         let th2 = self.conjunct1(&Theorem::assume(&mk_conj(a, &q)?)?)?;
         let th3 = Theorem::deduct_antisym(&th1, &th2)?;
-        let def_applied = apply_def(&self.imp_def, &[Rc::clone(a), q])?;
+        let def_applied = apply_def(&self.imp_def, &[*a, q])?;
         Theorem::eq_mp(&def_applied.sym()?, &th3)
     }
 
@@ -481,9 +469,9 @@ impl BoolTheory {
                 format!("not a universal quantification: {}", th.concl()),
             ));
         }
-        let tysub = single("a", t.ty()?);
+        let tysub = single("a", t.ty());
         let forall_def = self.forall_def.inst_type(&tysub);
-        let def_applied = apply_def(&forall_def, &[Rc::clone(abs)])?;
+        let def_applied = apply_def(&forall_def, &[abs])?;
         let th1 = Theorem::eq_mp(&def_applied, th)?;
         let th2 = Theorem::ap_thm(&th1, t)?;
         let (lhs_t, rhs_t) = th2.dest_eq()?;
@@ -671,8 +659,7 @@ mod tests {
         let p = mk_var("p", Type::bool());
         let spec = b.spec_list(std::slice::from_ref(&p), &gen).unwrap();
         assert!(spec.concl().aconv(&mk_eq(&p, &p).unwrap()));
-        drop(body);
-        drop(y);
+        let _ = (body, y);
     }
 
     #[test]

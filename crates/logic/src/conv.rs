@@ -21,7 +21,6 @@ use crate::error::{LogicError, Result};
 use crate::term::{mk_comb, Term, TermRef, Var};
 use crate::theory::Theory;
 use crate::thm::Theorem;
-use std::rc::Rc;
 
 /// Full beta normalisation as a theorem: `⊢ t = nf(t)`.
 ///
@@ -29,15 +28,15 @@ use std::rc::Rc;
 ///
 /// Propagates kernel errors (cannot happen for well-typed input).
 pub fn beta_norm_thm(t: &TermRef) -> Result<Theorem> {
-    match t.as_ref() {
+    match t.view() {
         Term::Var(_) | Term::Const(_) => Theorem::refl(t),
         Term::Abs(v, body) => {
-            let th = beta_norm_thm(body)?;
-            Theorem::abs(v, &th)
+            let th = beta_norm_thm(&body)?;
+            Theorem::abs(&v, &th)
         }
         Term::Comb(f, x) => {
-            let thf = beta_norm_thm(f)?;
-            let thx = beta_norm_thm(x)?;
+            let thf = beta_norm_thm(&f)?;
+            let thx = beta_norm_thm(&x)?;
             let th = Theorem::mk_comb(&thf, &thx)?;
             let (_, rhs) = th.dest_eq()?;
             if is_redex(&rhs) {
@@ -59,10 +58,10 @@ pub fn beta_norm_thm(t: &TermRef) -> Result<Theorem> {
 ///
 /// Propagates kernel errors (cannot happen for well-typed input).
 pub fn beta_spine_thm(t: &TermRef) -> Result<Theorem> {
-    match t.as_ref() {
+    match t.view() {
         Term::Comb(f, x) => {
-            let thf = beta_spine_thm(f)?;
-            let th = Theorem::ap_thm(&thf, x)?;
+            let thf = beta_spine_thm(&f)?;
+            let th = Theorem::ap_thm(&thf, &x)?;
             let (_, rhs) = th.dest_eq()?;
             if is_redex(&rhs) {
                 let bth = Theorem::beta(&rhs)?;
@@ -79,7 +78,7 @@ pub fn beta_spine_thm(t: &TermRef) -> Result<Theorem> {
 
 /// Whether a term is a beta redex `(\x. b) a`.
 pub fn is_redex(t: &TermRef) -> bool {
-    matches!(t.as_ref(), Term::Comb(f, _) if matches!(f.as_ref(), Term::Abs(..)))
+    matches!(t.view(), Term::Comb(f, _) if matches!(f.view(), Term::Abs(..)))
 }
 
 /// Unfolds a definitional equation applied to arguments:
@@ -126,14 +125,14 @@ pub fn rewr_conv(eq: &Theorem, t: &TermRef) -> Result<Theorem> {
         .map(|(v, s)| {
             (
                 Var::new(v.name.clone(), v.ty.subst(&matching.type_subst)),
-                Rc::clone(s),
+                *s,
             )
         })
         .collect();
     let instantiated = inst_ty.inst(&subst)?;
     let (new_lhs, _) = instantiated.dest_eq()?;
     if new_lhs.aconv(t) {
-        if *new_lhs == **t {
+        if new_lhs == *t {
             Ok(instantiated)
         } else {
             // Adjust for alpha differences.
@@ -198,7 +197,7 @@ impl Rewriter {
             ));
         }
         let (lhs, _) = eq.dest_eq()?;
-        if matches!(lhs.as_ref(), Term::Var(_)) {
+        if matches!(lhs.view(), Term::Var(_)) {
             return Err(LogicError::ill_formed(
                 "Rewriter::add_eq",
                 "left-hand side of a rewrite must not be a bare variable".to_string(),
@@ -234,7 +233,7 @@ impl Rewriter {
     /// pass limit.
     pub fn rewrite_with(&self, theory: Option<&Theory>, t: &TermRef) -> Result<Theorem> {
         let mut acc = Theorem::refl(t)?;
-        let mut current = Rc::clone(t);
+        let mut current = *t;
         for _ in 0..self.max_passes {
             let (th, changed) = self.pass(theory, &current)?;
             if !changed {
@@ -263,15 +262,15 @@ impl Rewriter {
 
     /// One bottom-up pass; returns `⊢ t = t'` and whether anything changed.
     fn pass(&self, theory: Option<&Theory>, t: &TermRef) -> Result<(Theorem, bool)> {
-        let (th_sub, changed_sub) = match t.as_ref() {
+        let (th_sub, changed_sub) = match t.view() {
             Term::Var(_) | Term::Const(_) => (Theorem::refl(t)?, false),
             Term::Abs(v, body) => {
-                let (bt, ch) = self.pass(theory, body)?;
-                (Theorem::abs(v, &bt)?, ch)
+                let (bt, ch) = self.pass(theory, &body)?;
+                (Theorem::abs(&v, &bt)?, ch)
             }
             Term::Comb(f, x) => {
-                let (ft, c1) = self.pass(theory, f)?;
-                let (xt, c2) = self.pass(theory, x)?;
+                let (ft, c1) = self.pass(theory, &f)?;
+                let (xt, c2) = self.pass(theory, &x)?;
                 (Theorem::mk_comb(&ft, &xt)?, c1 || c2)
             }
         };
@@ -328,7 +327,7 @@ pub fn convert_rhs(th: &Theorem, conv_result: &Theorem) -> Result<Theorem> {
 ///
 /// Fails on type mismatches.
 pub fn apply_and_reduce(f: &TermRef, args: &[TermRef]) -> Result<(TermRef, Theorem)> {
-    let mut t = Rc::clone(f);
+    let mut t = *f;
     for a in args {
         t = mk_comb(&t, a)?;
     }
@@ -351,12 +350,7 @@ pub fn inst_theorem(
     // type-instantiated types.
     let adjusted: crate::term::TermSubst = term_subst
         .iter()
-        .map(|(v, t)| {
-            (
-                Var::new(v.name.clone(), v.ty.subst(type_subst)),
-                Rc::clone(t),
-            )
-        })
+        .map(|(v, t)| (Var::new(v.name.clone(), v.ty.subst(type_subst)), *t))
         .collect();
     th_ty.inst(&adjusted)
 }
@@ -419,7 +413,7 @@ mod tests {
         let bv = Var::new("bvar", b());
         let q = mk_var("q", b());
         let sel = mk_abs(&a, &mk_abs(&bv, &a.term()));
-        let spine = list_mk_comb(&sel, &[p.clone(), q]).unwrap();
+        let spine = list_mk_comb(&sel, &[p, q]).unwrap();
         let th2 = beta_spine_thm(&spine).unwrap();
         let (_, r2) = th2.dest_eq().unwrap();
         assert!(r2.aconv(&p));
@@ -435,12 +429,12 @@ mod tests {
         let def = thy.new_definition("SWAPEQ_DEF", "SWAPEQ", &body).unwrap();
         let p = mk_var("p", b());
         let q = mk_var("q", b());
-        let th = apply_def(&def, &[p.clone(), q.clone()]).unwrap();
+        let th = apply_def(&def, &[p, q]).unwrap();
         let (lhs, rhs) = th.dest_eq().unwrap();
         assert_eq!(lhs.to_string(), "SWAPEQ p q");
         assert!(rhs.aconv(&mk_eq(&q, &p).unwrap()));
         // Too many arguments fails cleanly.
-        assert!(apply_def(&def, &[p.clone(), q.clone(), p.clone()]).is_err());
+        assert!(apply_def(&def, &[p, q, p]).is_err());
     }
 
     #[test]
@@ -484,7 +478,7 @@ mod tests {
         let fst_i = thy
             .const_at("fst", Type::fun(Type::prod(b(), Type::bv(4)), b()))
             .unwrap();
-        let target = mk_comb(&fst_i, &list_mk_comb(&pair_i, &[p.clone(), n]).unwrap()).unwrap();
+        let target = mk_comb(&fst_i, &list_mk_comb(&pair_i, &[p, n]).unwrap()).unwrap();
         let th = rewr_conv(&ax, &target).unwrap();
         let (l, r) = th.dest_eq().unwrap();
         assert!(l.aconv(&target));
@@ -510,7 +504,7 @@ mod tests {
 
         // nn(nn(nn(nn(q)))) rewrites to q.
         let q = mk_var("q", b());
-        let mut t = q.clone();
+        let mut t = q;
         for _ in 0..4 {
             t = mk_comb(&nn, &t).unwrap();
         }
@@ -539,10 +533,10 @@ mod tests {
             .unwrap();
         let zero = thy.const_at("zero", Type::bv(4)).unwrap();
         let one = thy.const_at("one", Type::bv(4)).unwrap();
-        let one_for_delta = Rc::clone(&one);
+        let one_for_delta = one;
         thy.new_delta_rule("inc_zero", move |t| {
             if t.to_string() == "inc zero" {
-                Some(Rc::clone(&one_for_delta))
+                Some(one_for_delta)
             } else {
                 None
             }
@@ -562,7 +556,7 @@ mod tests {
         let th = Theorem::refl(&x.term()).unwrap();
         let tysub = single_type_subst("a", Type::bv(8));
         let val = mk_var("v", Type::bv(8));
-        let inst = inst_theorem(&th, &tysub, &vec![(x, val.clone())]).unwrap();
+        let inst = inst_theorem(&th, &tysub, &vec![(x, val)]).unwrap();
         let (l, _) = inst.dest_eq().unwrap();
         assert!(l.aconv(&val));
     }

@@ -14,7 +14,6 @@ use crate::term::{list_mk_comb, mk_comb, mk_eq, Term, TermRef, Var};
 use crate::theory::Theory;
 use crate::thm::Theorem;
 use crate::types::{Type, TypeSubst};
-use std::rc::Rc;
 
 /// The pair theory: constants `pair`, `fst`, `snd` and their characteristic
 /// equations.
@@ -76,8 +75,8 @@ pub fn snd_const(a: &Type, b: &Type) -> TermRef {
 ///
 /// Fails only on internal type errors (cannot happen for well-typed input).
 pub fn mk_pair(a: &TermRef, b: &TermRef) -> Result<TermRef> {
-    let c = pair_const(&a.ty()?, &b.ty()?);
-    list_mk_comb(&c, &[Rc::clone(a), Rc::clone(b)])
+    let c = pair_const(&a.ty(), &b.ty());
+    list_mk_comb(&c, &[*a, *b])
 }
 
 /// Builds the right-nested tuple `(t1, (t2, (..., tn)))`. A single element
@@ -91,7 +90,7 @@ pub fn mk_tuple(ts: &[TermRef]) -> Result<TermRef> {
         None => Ok(crate::term::mk_const("one_value", Type::one())),
         Some((head, rest)) => {
             if rest.is_empty() {
-                Ok(Rc::clone(head))
+                Ok(*head)
             } else {
                 let tail = mk_tuple(rest)?;
                 mk_pair(head, &tail)
@@ -106,7 +105,7 @@ pub fn mk_tuple(ts: &[TermRef]) -> Result<TermRef> {
 ///
 /// Fails if `p` does not have a product type.
 pub fn mk_fst(p: &TermRef) -> Result<TermRef> {
-    let ty = p.ty()?;
+    let ty = p.ty();
     let (a, b) = ty.dest_prod()?;
     mk_comb(&fst_const(a, b), p)
 }
@@ -117,7 +116,7 @@ pub fn mk_fst(p: &TermRef) -> Result<TermRef> {
 ///
 /// Fails if `p` does not have a product type.
 pub fn mk_snd(p: &TermRef) -> Result<TermRef> {
-    let ty = p.ty()?;
+    let ty = p.ty();
     let (a, b) = ty.dest_prod()?;
     mk_comb(&snd_const(a, b), p)
 }
@@ -142,7 +141,7 @@ pub fn tuple_project(t: &TermRef, index: usize, arity: usize) -> Result<TermRef>
         ));
     }
     if arity == 1 {
-        return Ok(Rc::clone(t));
+        return Ok(*t);
     }
     if index == 0 {
         mk_fst(t)
@@ -157,12 +156,12 @@ pub fn tuple_project(t: &TermRef, index: usize, arity: usize) -> Result<TermRef>
 /// # Errors
 ///
 /// Fails if the term is not an application of `pair` to two arguments.
-pub fn dest_pair(t: &Term) -> Result<(TermRef, TermRef)> {
-    if let Term::Comb(fl, b) = t {
-        if let Term::Comb(p, a) = fl.as_ref() {
-            if let Term::Const(c) = p.as_ref() {
+pub fn dest_pair(t: &TermRef) -> Result<(TermRef, TermRef)> {
+    if let Term::Comb(fl, b) = t.view() {
+        if let Term::Comb(p, a) = fl.view() {
+            if let Term::Const(c) = p.view() {
                 if c.name == "pair" {
-                    return Ok((Rc::clone(a), Rc::clone(b)));
+                    return Ok((a, b));
                 }
             }
         }
@@ -181,7 +180,7 @@ pub fn strip_tuple(t: &TermRef) -> Vec<TermRef> {
             out.extend(strip_tuple(&b));
             out
         }
-        Err(_) => vec![Rc::clone(t)],
+        Err(_) => vec![*t],
     }
 }
 
@@ -257,7 +256,7 @@ mod tests {
         let x = mk_var("x", Type::bv(4));
         let y = mk_var("y", Type::bool());
         let pr = mk_pair(&x, &y).unwrap();
-        assert_eq!(pr.ty().unwrap(), Type::prod(Type::bv(4), Type::bool()));
+        assert_eq!(pr.ty(), Type::prod(Type::bv(4), Type::bool()));
         let (a, b) = dest_pair(&pr).unwrap();
         assert!(a.aconv(&x));
         assert!(b.aconv(&y));
@@ -271,7 +270,7 @@ mod tests {
             .collect();
         let t = mk_tuple(&xs).unwrap();
         assert_eq!(
-            t.ty().unwrap(),
+            t.ty(),
             Type::prod(Type::bv(2), Type::prod(Type::bv(2), Type::bv(2)))
         );
         let parts = strip_tuple(&t);
@@ -282,7 +281,7 @@ mod tests {
         let single = mk_tuple(&xs[..1]).unwrap();
         assert!(single.aconv(&xs[0]));
         let empty = mk_tuple(&[]).unwrap();
-        assert_eq!(empty.ty().unwrap(), Type::one());
+        assert_eq!(empty.ty(), Type::one());
     }
 
     #[test]
@@ -328,7 +327,7 @@ mod tests {
         let (_, p) = setup();
         let inst = p.fst_pair_at(&Type::bv(8), &Type::bool());
         let (lhs, _) = inst.dest_eq().unwrap();
-        assert_eq!(lhs.ty().unwrap(), Type::bv(8));
+        assert_eq!(lhs.ty(), Type::bv(8));
     }
 
     #[test]

@@ -1,24 +1,41 @@
-//! Terms of the higher-order logic.
+//! Terms of the higher-order logic, represented as *hash-consed* handles
+//! into a thread-local term arena.
 //!
 //! Terms follow the classic four-constructor presentation used by the HOL
 //! family of provers: variables, constants, applications ("combinations")
-//! and lambda abstractions. Terms are immutable and shared through
-//! reference counting, so copying sub-terms is cheap — the property the
-//! paper relies on when it argues that composing two synthesis theorems by
-//! transitivity has constant cost ("pointers — no copying").
+//! and lambda abstractions. Since PR 2 the representation is a maximal-
+//! sharing arena (mirroring the `hash-bdd` unique table): every distinct
+//! term is stored exactly once and a [`TermRef`] is a copyable `u32` id, so
 //!
-//! All term constructors perform type checking; it is impossible to build
-//! an ill-typed application. This is the mechanism by which the paper's
-//! "false cut" (Fig. 4) is rejected: the equation between the original and
-//! the wrongly split combinational block is not even expressible.
+//! * structural equality is an id compare (`==` on [`TermRef`] is O(1)),
+//! * the [`Type`] of a term is computed once at interning time and cached
+//!   per node (`ty()` never recurses),
+//! * free-variable sets, alpha-equivalence, capture-avoiding substitution
+//!   and beta reduction are memoised on node ids, so repeated work over
+//!   shared sub-terms — the common case in the retiming derivations — is
+//!   paid once.
+//!
+//! This is the "pointers, no copying" cost model the paper assumes when it
+//! argues that composing two synthesis theorems by transitivity has
+//! constant cost.
+//!
+//! All term constructors perform type checking *at interning time*; it is
+//! impossible to build an ill-typed application. This is the mechanism by
+//! which the paper's "false cut" (Fig. 4) is rejected: the equation between
+//! the original and the wrongly split combinational block is not even
+//! expressible.
+//!
+//! The arena is thread-local: terms never cross threads (a [`TermRef`]
+//! is deliberately `!Send`, exactly like the `Rc<Term>` representation it
+//! replaced), and the arena lives for the lifetime of the thread.
 
 use crate::error::{LogicError, Result};
 use crate::types::{Type, TypeSubst};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::marker::PhantomData;
 use std::rc::Rc;
-
-/// A shared, immutable term.
-pub type TermRef = Rc<Term>;
 
 /// A term variable: a name together with its type.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -40,7 +57,7 @@ impl Var {
 
     /// The variable as a term.
     pub fn term(&self) -> TermRef {
-        Rc::new(Term::Var(self.clone()))
+        with_arena(|a| a.intern_var(self))
     }
 }
 
@@ -55,8 +72,39 @@ pub struct ConstRef {
     pub ty: Type,
 }
 
-/// A higher-order-logic term.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// A shared, immutable, hash-consed term: a copyable handle (`u32` id)
+/// into the thread-local [`TermArena`].
+///
+/// Equality and hashing are by id — O(1) — and, because the arena
+/// maximally shares structure, id equality *is* structural equality.
+/// The `PhantomData<Rc<()>>` keeps the handle `!Send`/`!Sync`: ids are
+/// only meaningful within the thread whose arena created them (the same
+/// constraint the previous `Rc<Term>` representation enforced).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TermRef {
+    id: u32,
+    _single_thread: PhantomData<Rc<()>>,
+}
+
+impl TermRef {
+    fn from_id(id: u32) -> TermRef {
+        TermRef {
+            id,
+            _single_thread: PhantomData,
+        }
+    }
+
+    /// The arena id of this term. Two terms have the same id exactly when
+    /// they are structurally equal (maximal sharing).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+/// A one-level *view* of a term, for pattern matching. Children are
+/// returned as [`TermRef`] handles; binder and leaf payloads are cloned
+/// out of the arena.
+#[derive(Clone, Debug)]
 pub enum Term {
     /// A variable.
     Var(Var),
@@ -72,20 +120,637 @@ pub enum Term {
 pub type TermSubst = Vec<(Var, TermRef)>;
 
 // ---------------------------------------------------------------------------
+// The arena
+// ---------------------------------------------------------------------------
+
+/// Interned node payload. Children are stored as ids; binder/leaf payloads
+/// are shared `Rc`s so that cloning a node (to walk it while the arena is
+/// mutably borrowed) costs two pointer bumps.
+#[derive(Clone)]
+enum Node {
+    Var(Rc<Var>),
+    Const(Rc<ConstRef>),
+    Comb(TermRef, TermRef),
+    Abs(Rc<Var>, TermRef),
+}
+
+/// A normalised, interned substitution: sorted by variable, deduplicated,
+/// with identity bindings removed.
+type SubstPairs = Rc<Vec<(Rc<Var>, TermRef)>>;
+
+/// The unique-table key of a node (hashes/compares by *content*, which is
+/// what makes two structurally equal terms intern to the same id).
+#[derive(PartialEq, Eq, Hash)]
+enum NodeKey {
+    Var(Rc<Var>),
+    Const(Rc<ConstRef>),
+    Comb(u32, u32),
+    Abs(Rc<Var>, u32),
+}
+
+struct NodeData {
+    node: Node,
+    /// The type, computed once at interning.
+    ty: Type,
+    /// Constructor count, computed once at interning.
+    size: u64,
+    /// Whether any type annotation below this node mentions a type
+    /// variable (fast path for `inst_type`).
+    has_type_vars: bool,
+    /// Memoised free variables, in first-occurrence order.
+    fvs: Option<Rc<Vec<Var>>>,
+}
+
+/// Why an application could not be interned (formatted into a full
+/// [`LogicError`] *outside* the arena borrow, because rendering a term
+/// needs to re-borrow the arena).
+enum CombError {
+    NotAFunction(Type),
+    DomainMismatch(Type, Type),
+}
+
+/// Counters describing the current thread's term arena, for diagnostics
+/// and the perf-trajectory JSON.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArenaStats {
+    /// Number of distinct interned terms.
+    pub nodes: usize,
+    /// Number of interned substitutions.
+    pub substs: usize,
+    /// Entries in the (subst, term) → term substitution cache.
+    pub vsubst_cache: usize,
+    /// Entries in the alpha-equivalence cache.
+    pub aconv_cache: usize,
+    /// Entries in the beta-reduction cache.
+    pub beta_cache: usize,
+}
+
+#[derive(Default)]
+struct TermArena {
+    nodes: Vec<NodeData>,
+    unique: HashMap<NodeKey, u32>,
+    vars: HashMap<Var, Rc<Var>>,
+    consts: HashMap<ConstRef, Rc<ConstRef>>,
+    /// Memoised alpha-equivalence for *closed-environment* comparisons.
+    aconv_cache: HashMap<(u32, u32), bool>,
+    /// Interned, normalised substitutions (sorted, deduped, no identity
+    /// bindings) and the (subst, term) result cache.
+    substs: Vec<SubstPairs>,
+    subst_ids: HashMap<SubstPairs, u32>,
+    vsubst_cache: HashMap<(u32, u32), TermRef>,
+    /// Interned type substitutions and the (subst, term) instantiation
+    /// cache.
+    ty_substs: Vec<Rc<TypeSubst>>,
+    ty_subst_ids: HashMap<Rc<TypeSubst>, u32>,
+    inst_cache: HashMap<(u32, u32), TermRef>,
+    /// redex id → contractum.
+    beta_cache: HashMap<u32, TermRef>,
+    /// term id → beta normal form.
+    beta_nf_cache: HashMap<u32, TermRef>,
+    empty_fvs: Option<Rc<Vec<Var>>>,
+}
+
+thread_local! {
+    static ARENA: RefCell<TermArena> = RefCell::new(TermArena::default());
+}
+
+fn with_arena<R>(f: impl FnOnce(&mut TermArena) -> R) -> R {
+    ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+/// The number of distinct terms interned by this thread's arena so far.
+pub fn arena_node_count() -> usize {
+    ARENA.with(|a| a.borrow().nodes.len())
+}
+
+/// Diagnostic counters of this thread's term arena.
+pub fn arena_stats() -> ArenaStats {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        ArenaStats {
+            nodes: a.nodes.len(),
+            substs: a.substs.len(),
+            vsubst_cache: a.vsubst_cache.len(),
+            aconv_cache: a.aconv_cache.len(),
+            beta_cache: a.beta_cache.len(),
+        }
+    })
+}
+
+fn ty_has_vars(ty: &Type) -> bool {
+    match ty {
+        Type::Var(_) => true,
+        Type::Con(_, args) => args.iter().any(ty_has_vars),
+    }
+}
+
+impl TermArena {
+    fn node(&self, t: TermRef) -> &NodeData {
+        &self.nodes[t.id as usize]
+    }
+
+    fn var_rc(&mut self, v: &Var) -> Rc<Var> {
+        if let Some(rv) = self.vars.get(v) {
+            return Rc::clone(rv);
+        }
+        let rv = Rc::new(v.clone());
+        self.vars.insert(v.clone(), Rc::clone(&rv));
+        rv
+    }
+
+    fn const_rc(&mut self, c: &ConstRef) -> Rc<ConstRef> {
+        if let Some(rc) = self.consts.get(c) {
+            return Rc::clone(rc);
+        }
+        let rc = Rc::new(c.clone());
+        self.consts.insert(c.clone(), Rc::clone(&rc));
+        rc
+    }
+
+    fn insert(&mut self, key: NodeKey, data: NodeData) -> TermRef {
+        let id = u32::try_from(self.nodes.len()).expect("term arena overflow (2^32 nodes)");
+        self.nodes.push(data);
+        self.unique.insert(key, id);
+        TermRef::from_id(id)
+    }
+
+    fn intern_var(&mut self, v: &Var) -> TermRef {
+        let rv = self.var_rc(v);
+        if let Some(&id) = self.unique.get(&NodeKey::Var(Rc::clone(&rv))) {
+            return TermRef::from_id(id);
+        }
+        let data = NodeData {
+            ty: rv.ty.clone(),
+            size: 1,
+            has_type_vars: ty_has_vars(&rv.ty),
+            fvs: Some(Rc::new(vec![(*rv).clone()])),
+            node: Node::Var(Rc::clone(&rv)),
+        };
+        self.insert(NodeKey::Var(rv), data)
+    }
+
+    fn intern_const(&mut self, c: &ConstRef) -> TermRef {
+        let rc = self.const_rc(c);
+        if let Some(&id) = self.unique.get(&NodeKey::Const(Rc::clone(&rc))) {
+            return TermRef::from_id(id);
+        }
+        let data = NodeData {
+            ty: rc.ty.clone(),
+            size: 1,
+            has_type_vars: ty_has_vars(&rc.ty),
+            fvs: Some(self.empty()),
+            node: Node::Const(Rc::clone(&rc)),
+        };
+        self.insert(NodeKey::Const(rc), data)
+    }
+
+    fn empty(&mut self) -> Rc<Vec<Var>> {
+        if let Some(e) = &self.empty_fvs {
+            return Rc::clone(e);
+        }
+        let e = Rc::new(Vec::new());
+        self.empty_fvs = Some(Rc::clone(&e));
+        e
+    }
+
+    /// Interns an application, *type-checking at interning time*: the
+    /// operator must have a function type whose domain equals the operand
+    /// type (an id-cached [`Type`] comparison, not a recomputation).
+    fn intern_comb(&mut self, f: TermRef, x: TermRef) -> std::result::Result<TermRef, CombError> {
+        let key = NodeKey::Comb(f.id, x.id);
+        if let Some(&id) = self.unique.get(&key) {
+            return Ok(TermRef::from_id(id));
+        }
+        let cod = {
+            let fty = &self.node(f).ty;
+            let (dom, cod) = match fty {
+                Type::Con(name, args) if name == "fun" && args.len() == 2 => (&args[0], &args[1]),
+                other => return Err(CombError::NotAFunction(other.clone())),
+            };
+            let xty = &self.node(x).ty;
+            if dom != xty {
+                return Err(CombError::DomainMismatch(dom.clone(), xty.clone()));
+            }
+            cod.clone()
+        };
+        let size = self
+            .node(f)
+            .size
+            .saturating_add(self.node(x).size)
+            .saturating_add(1);
+        let has_type_vars = self.node(f).has_type_vars || self.node(x).has_type_vars;
+        let data = NodeData {
+            ty: cod,
+            size,
+            has_type_vars,
+            fvs: None,
+            node: Node::Comb(f, x),
+        };
+        Ok(self.insert(key, data))
+    }
+
+    fn intern_abs(&mut self, v: &Var, body: TermRef) -> TermRef {
+        let rv = self.var_rc(v);
+        if let Some(&id) = self.unique.get(&NodeKey::Abs(Rc::clone(&rv), body.id)) {
+            return TermRef::from_id(id);
+        }
+        let data = NodeData {
+            ty: Type::fun(rv.ty.clone(), self.node(body).ty.clone()),
+            size: self.node(body).size.saturating_add(1),
+            has_type_vars: ty_has_vars(&rv.ty) || self.node(body).has_type_vars,
+            fvs: None,
+            node: Node::Abs(Rc::clone(&rv), body),
+        };
+        self.insert(NodeKey::Abs(rv, body.id), data)
+    }
+
+    // -- Free variables -----------------------------------------------------
+
+    /// Memoised free variables in first-occurrence order.
+    fn fvs(&mut self, t: TermRef) -> Rc<Vec<Var>> {
+        if let Some(f) = &self.node(t).fvs {
+            return Rc::clone(f);
+        }
+        let computed = match self.node(t).node.clone() {
+            // Leaf free-var sets are stored at interning time, so only
+            // compound nodes ever reach this computation.
+            Node::Var(_) | Node::Const(_) => {
+                unreachable!("leaf free-variable sets are precomputed at interning")
+            }
+            Node::Comb(f, x) => {
+                let ffv = self.fvs(f);
+                let xfv = self.fvs(x);
+                if ffv.is_empty() {
+                    xfv
+                } else if xfv.is_empty() || Rc::ptr_eq(&ffv, &xfv) {
+                    ffv
+                } else {
+                    let fresh: Vec<&Var> = xfv.iter().filter(|v| !ffv.contains(v)).collect();
+                    if fresh.is_empty() {
+                        ffv
+                    } else {
+                        let mut out: Vec<Var> = (*ffv).clone();
+                        out.extend(fresh.into_iter().cloned());
+                        Rc::new(out)
+                    }
+                }
+            }
+            Node::Abs(v, body) => {
+                let bfv = self.fvs(body);
+                if bfv.iter().any(|w| w == &*v) {
+                    Rc::new(bfv.iter().filter(|w| *w != &*v).cloned().collect())
+                } else {
+                    bfv
+                }
+            }
+        };
+        self.nodes[t.id as usize].fvs = Some(Rc::clone(&computed));
+        computed
+    }
+
+    fn occurs_free(&mut self, t: TermRef, v: &Var) -> bool {
+        self.fvs(t).iter().any(|w| w == v)
+    }
+
+    // -- Alpha-equivalence --------------------------------------------------
+
+    fn aconv(&mut self, a: TermRef, b: TermRef) -> bool {
+        self.aconv_env(a, b, &mut Vec::new())
+    }
+
+    fn aconv_env(&mut self, a: TermRef, b: TermRef, env: &mut Vec<(Rc<Var>, Rc<Var>)>) -> bool {
+        if a == b {
+            // Identical ids are alpha-equivalent unless a binder in the
+            // environment interferes with a shared free variable.
+            if env.is_empty() {
+                return true;
+            }
+            let fv = self.fvs(a);
+            if !env
+                .iter()
+                .any(|(x, y)| fv.iter().any(|w| w == &**x || w == &**y))
+            {
+                return true;
+            }
+        }
+        if env.is_empty() {
+            let key = (a.id, b.id);
+            if let Some(&r) = self.aconv_cache.get(&key) {
+                return r;
+            }
+            let r = self.aconv_nodes(a, b, env);
+            self.aconv_cache.insert(key, r);
+            self.aconv_cache.insert((b.id, a.id), r);
+            r
+        } else {
+            self.aconv_nodes(a, b, env)
+        }
+    }
+
+    fn aconv_nodes(&mut self, a: TermRef, b: TermRef, env: &mut Vec<(Rc<Var>, Rc<Var>)>) -> bool {
+        match (self.node(a).node.clone(), self.node(b).node.clone()) {
+            (Node::Var(v), Node::Var(w)) => {
+                for (x, y) in env.iter().rev() {
+                    if **x == *v || **y == *w {
+                        return **x == *v && **y == *w;
+                    }
+                }
+                v == w
+            }
+            (Node::Const(c), Node::Const(d)) => c == d,
+            (Node::Comb(f1, x1), Node::Comb(f2, x2)) => {
+                self.aconv_env(f1, f2, env) && self.aconv_env(x1, x2, env)
+            }
+            (Node::Abs(v, b1), Node::Abs(w, b2)) => {
+                if v.ty != w.ty {
+                    return false;
+                }
+                if env.is_empty() && v == w {
+                    // Identity binder pair: the environment stays empty, so
+                    // the recursive comparison remains memoisable.
+                    return self.aconv_env(b1, b2, env);
+                }
+                env.push((v, w));
+                let r = self.aconv_env(b1, b2, env);
+                env.pop();
+                r
+            }
+            _ => false,
+        }
+    }
+
+    // -- Substitution -------------------------------------------------------
+
+    /// Interns a normalised substitution (callers must pass it sorted by
+    /// variable, deduplicated, without identity bindings).
+    fn subst_id(&mut self, pairs: Vec<(Rc<Var>, TermRef)>) -> u32 {
+        let rc = Rc::new(pairs);
+        if let Some(&sid) = self.subst_ids.get(&rc) {
+            return sid;
+        }
+        let sid = u32::try_from(self.substs.len()).expect("substitution arena overflow");
+        self.substs.push(Rc::clone(&rc));
+        self.subst_ids.insert(rc, sid);
+        sid
+    }
+
+    /// Normalises a user-facing substitution against the term it will be
+    /// applied to; `None` if it is a no-op. Later duplicate bindings are
+    /// shadowed (first binding wins, as in the pre-arena list lookup), and
+    /// bindings whose variable does not occur free in `t` are dropped
+    /// *before* the type check, so a dead ill-typed binding is ignored
+    /// exactly as it was by the recursive implementation.
+    fn normalize_subst(&mut self, theta: &TermSubst, t: TermRef) -> Option<u32> {
+        let fv = self.fvs(t);
+        let mut seen: Vec<&Var> = Vec::with_capacity(theta.len());
+        let mut pairs: Vec<(Rc<Var>, TermRef)> = Vec::with_capacity(theta.len());
+        for (v, s) in theta {
+            if seen.contains(&v) {
+                continue; // first binding wins, as in the list-based lookup
+            }
+            seen.push(v);
+            if !fv.iter().any(|w| w == v) {
+                continue; // dead binding: the variable is not free in t
+            }
+            if self.intern_var(v) == *s {
+                continue; // identity binding
+            }
+            assert!(
+                self.node(*s).ty == v.ty,
+                "vsubst: ill-typed binding for variable {}",
+                v.name
+            );
+            pairs.push((self.var_rc(v), *s));
+        }
+        if pairs.is_empty() {
+            return None;
+        }
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(self.subst_id(pairs))
+    }
+
+    /// Memoised capture-avoiding parallel substitution, keyed on
+    /// (substitution id, term id).
+    fn vsubst_rec(&mut self, sid: u32, t: TermRef) -> TermRef {
+        if let Some(&r) = self.vsubst_cache.get(&(sid, t.id)) {
+            return r;
+        }
+        let pairs = Rc::clone(&self.substs[sid as usize]);
+        // Fast path: no substituted variable occurs free in the term.
+        let fv = self.fvs(t);
+        if !pairs.iter().any(|(v, _)| fv.iter().any(|w| w == &**v)) {
+            self.vsubst_cache.insert((sid, t.id), t);
+            return t;
+        }
+        drop(fv);
+        let result = match self.node(t).node.clone() {
+            Node::Var(v) => pairs
+                .iter()
+                .find(|(w, _)| *w == v)
+                .map(|(_, s)| *s)
+                .unwrap_or(t),
+            Node::Const(_) => t,
+            Node::Comb(f, x) => {
+                let f2 = self.vsubst_rec(sid, f);
+                let x2 = self.vsubst_rec(sid, x);
+                if f2 == f && x2 == x {
+                    t
+                } else {
+                    self.intern_comb(f2, x2)
+                        .unwrap_or_else(|_| unreachable!("substitution preserves typing"))
+                }
+            }
+            Node::Abs(v, body) => {
+                let bfv = self.fvs(body);
+                let relevant: Vec<(Rc<Var>, TermRef)> = pairs
+                    .iter()
+                    .filter(|(w, _)| **w != *v && bfv.iter().any(|u| u == &**w))
+                    .cloned()
+                    .collect();
+                if relevant.is_empty() {
+                    t
+                } else {
+                    let capture = relevant.iter().any(|&(_, s)| {
+                        let sfv = self.fvs(s);
+                        sfv.iter().any(|u| u == &*v)
+                    });
+                    if capture {
+                        let mut avoid: Vec<Var> = (*bfv).clone();
+                        for (_, s) in &relevant {
+                            avoid.extend(self.fvs(*s).iter().cloned());
+                        }
+                        let fresh = variant(&avoid, &v);
+                        let fresh_term = self.intern_var(&fresh);
+                        let rename_sid = self.subst_id(vec![(Rc::clone(&v), fresh_term)]);
+                        let renamed = self.vsubst_rec(rename_sid, body);
+                        let rsid = self.subst_id(relevant);
+                        let new_body = self.vsubst_rec(rsid, renamed);
+                        self.intern_abs(&fresh, new_body)
+                    } else {
+                        // `relevant` inherits the parent's sort order.
+                        let rsid = self.subst_id(relevant);
+                        let new_body = self.vsubst_rec(rsid, body);
+                        self.intern_abs(&v, new_body)
+                    }
+                }
+            }
+        };
+        self.vsubst_cache.insert((sid, t.id), result);
+        result
+    }
+
+    // -- Type instantiation -------------------------------------------------
+
+    fn ty_subst_id(&mut self, theta: &TypeSubst) -> Option<u32> {
+        let norm: TypeSubst = theta
+            .iter()
+            .filter(|(name, ty)| !matches!(ty, Type::Var(m) if m == *name))
+            .map(|(n, t)| (n.clone(), t.clone()))
+            .collect();
+        if norm.is_empty() {
+            return None;
+        }
+        let rc = Rc::new(norm);
+        if let Some(&sid) = self.ty_subst_ids.get(&rc) {
+            return Some(sid);
+        }
+        let sid = u32::try_from(self.ty_substs.len()).expect("type-substitution arena overflow");
+        self.ty_substs.push(Rc::clone(&rc));
+        self.ty_subst_ids.insert(rc, sid);
+        Some(sid)
+    }
+
+    fn inst_type_rec(&mut self, sid: u32, t: TermRef) -> TermRef {
+        if !self.node(t).has_type_vars {
+            return t;
+        }
+        if let Some(&r) = self.inst_cache.get(&(sid, t.id)) {
+            return r;
+        }
+        let theta = Rc::clone(&self.ty_substs[sid as usize]);
+        let result = match self.node(t).node.clone() {
+            Node::Var(v) => {
+                let nv = Var::new(v.name.clone(), v.ty.subst(&theta));
+                self.intern_var(&nv)
+            }
+            Node::Const(c) => {
+                let nc = ConstRef {
+                    name: c.name.clone(),
+                    ty: c.ty.subst(&theta),
+                };
+                self.intern_const(&nc)
+            }
+            Node::Comb(f, x) => {
+                let f2 = self.inst_type_rec(sid, f);
+                let x2 = self.inst_type_rec(sid, x);
+                self.intern_comb(f2, x2)
+                    .unwrap_or_else(|_| unreachable!("type instantiation preserves typing"))
+            }
+            Node::Abs(v, body) => {
+                let new_var = Var::new(v.name.clone(), v.ty.subst(&theta));
+                let new_body = self.inst_type_rec(sid, body);
+                // Detect capture: a distinct free variable of the original
+                // body could collide with the instantiated bound variable.
+                let bfv = self.fvs(body);
+                let clash = bfv.iter().any(|w| {
+                    w != &*v && w.name == new_var.name && w.ty.subst(&theta) == new_var.ty
+                });
+                if clash {
+                    let avoid: Vec<Var> = (*self.fvs(new_body)).clone();
+                    let fresh = variant(&avoid, &new_var);
+                    let fresh_term = self.intern_var(&fresh);
+                    let nv_rc = self.var_rc(&new_var);
+                    let rsid = self.subst_id(vec![(nv_rc, fresh_term)]);
+                    let renamed = self.vsubst_rec(rsid, new_body);
+                    self.intern_abs(&fresh, renamed)
+                } else {
+                    self.intern_abs(&new_var, new_body)
+                }
+            }
+        };
+        self.inst_cache.insert((sid, t.id), result);
+        result
+    }
+
+    // -- Beta reduction -----------------------------------------------------
+
+    /// One step of root beta reduction; `None` if `t` is not a redex.
+    fn beta_reduce(&mut self, t: TermRef) -> Option<TermRef> {
+        if let Some(&r) = self.beta_cache.get(&t.id) {
+            return Some(r);
+        }
+        let (f, a) = match self.node(t).node {
+            Node::Comb(f, a) => (f, a),
+            _ => return None,
+        };
+        let (v, body) = match self.node(f).node.clone() {
+            Node::Abs(v, body) => (v, body),
+            _ => return None,
+        };
+        let result = if self.intern_var(&v) == a {
+            body // (\x. b) x  ~>  b
+        } else {
+            let sid = self.subst_id(vec![(v, a)]);
+            self.vsubst_rec(sid, body)
+        };
+        self.beta_cache.insert(t.id, result);
+        Some(result)
+    }
+
+    /// Memoised full beta normalisation (normal order).
+    fn beta_nf(&mut self, t: TermRef) -> TermRef {
+        if let Some(&r) = self.beta_nf_cache.get(&t.id) {
+            return r;
+        }
+        let result = match self.node(t).node.clone() {
+            Node::Var(_) | Node::Const(_) => t,
+            Node::Abs(v, body) => {
+                let nb = self.beta_nf(body);
+                if nb == body {
+                    t
+                } else {
+                    self.intern_abs(&v, nb)
+                }
+            }
+            Node::Comb(f, x) => {
+                let fnf = self.beta_nf(f);
+                let xnf = self.beta_nf(x);
+                if matches!(self.node(fnf).node, Node::Abs(..)) {
+                    let app = self
+                        .intern_comb(fnf, xnf)
+                        .unwrap_or_else(|_| unreachable!("normalisation preserves typing"));
+                    let reduced = self.beta_reduce(app).expect("redex by construction");
+                    self.beta_nf(reduced)
+                } else if fnf == f && xnf == x {
+                    t
+                } else {
+                    self.intern_comb(fnf, xnf)
+                        .unwrap_or_else(|_| unreachable!("normalisation preserves typing"))
+                }
+            }
+        };
+        self.beta_nf_cache.insert(t.id, result);
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Constructors
 // ---------------------------------------------------------------------------
 
 /// Builds a variable term.
 pub fn mk_var(name: impl Into<String>, ty: Type) -> TermRef {
-    Rc::new(Term::Var(Var::new(name, ty)))
+    let v = Var::new(name, ty);
+    with_arena(|a| a.intern_var(&v))
 }
 
 /// Builds a constant term with the given occurrence type.
 pub fn mk_const(name: impl Into<String>, ty: Type) -> TermRef {
-    Rc::new(Term::Const(ConstRef {
+    let c = ConstRef {
         name: name.into(),
         ty,
-    }))
+    };
+    with_arena(|a| a.intern_const(&c))
 }
 
 /// Builds a type-checked application `f x`.
@@ -95,28 +760,24 @@ pub fn mk_const(name: impl Into<String>, ty: Type) -> TermRef {
 /// Fails if `f` does not have a function type or its domain does not equal
 /// the type of `x`.
 pub fn mk_comb(f: &TermRef, x: &TermRef) -> Result<TermRef> {
-    let fty = f.ty()?;
-    let (dom, _) = fty.dest_fun().map_err(|_| {
-        LogicError::type_mismatch(
+    match with_arena(|a| a.intern_comb(*f, *x)) {
+        Ok(t) => Ok(t),
+        Err(CombError::NotAFunction(fty)) => Err(LogicError::type_mismatch(
             format!("mk_comb of {f}"),
             "a function type",
             fty.to_string(),
-        )
-    })?;
-    let xty = x.ty()?;
-    if *dom != xty {
-        return Err(LogicError::type_mismatch(
+        )),
+        Err(CombError::DomainMismatch(dom, xty)) => Err(LogicError::type_mismatch(
             format!("mk_comb applying {f} to {x}"),
             dom.to_string(),
             xty.to_string(),
-        ));
+        )),
     }
-    Ok(Rc::new(Term::Comb(Rc::clone(f), Rc::clone(x))))
 }
 
 /// Builds an iterated application `f x1 x2 ... xn`.
 pub fn list_mk_comb(f: &TermRef, args: &[TermRef]) -> Result<TermRef> {
-    let mut acc = Rc::clone(f);
+    let mut acc = *f;
     for a in args {
         acc = mk_comb(&acc, a)?;
     }
@@ -125,12 +786,12 @@ pub fn list_mk_comb(f: &TermRef, args: &[TermRef]) -> Result<TermRef> {
 
 /// Builds an abstraction `\v. body`.
 pub fn mk_abs(v: &Var, body: &TermRef) -> TermRef {
-    Rc::new(Term::Abs(v.clone(), Rc::clone(body)))
+    with_arena(|a| a.intern_abs(v, *body))
 }
 
 /// Builds an iterated abstraction `\v1 v2 ... vn. body`.
 pub fn list_mk_abs(vars: &[Var], body: &TermRef) -> TermRef {
-    let mut acc = Rc::clone(body);
+    let mut acc = *body;
     for v in vars.iter().rev() {
         acc = mk_abs(v, &acc);
     }
@@ -151,8 +812,8 @@ pub fn eq_const(ty: &Type) -> TermRef {
 ///
 /// Fails if the two sides have different types.
 pub fn mk_eq(lhs: &TermRef, rhs: &TermRef) -> Result<TermRef> {
-    let lty = lhs.ty()?;
-    let rty = rhs.ty()?;
+    let lty = lhs.ty();
+    let rty = rhs.ty();
     if lty != rty {
         return Err(LogicError::type_mismatch(
             format!("mk_eq of {lhs} and {rhs}"),
@@ -168,75 +829,92 @@ pub fn mk_eq(lhs: &TermRef, rhs: &TermRef) -> Result<TermRef> {
 // Destructors and syntactic predicates
 // ---------------------------------------------------------------------------
 
-impl Term {
-    /// Computes the type of the term.
-    ///
-    /// # Errors
-    ///
-    /// Fails on an application whose operator is not of function type
-    /// (cannot happen for terms built through the checked constructors).
-    pub fn ty(&self) -> Result<Type> {
-        match self {
-            Term::Var(v) => Ok(v.ty.clone()),
-            Term::Const(c) => Ok(c.ty.clone()),
-            Term::Comb(f, _) => {
-                let fty = f.ty()?;
-                let (_, cod) = fty.dest_fun()?;
-                Ok(cod.clone())
-            }
-            Term::Abs(v, body) => Ok(Type::fun(v.ty.clone(), body.ty()?)),
-        }
+impl TermRef {
+    /// A one-level view of the term, for pattern matching.
+    pub fn view(&self) -> Term {
+        with_arena(|a| match &a.node(*self).node {
+            Node::Var(v) => Term::Var((**v).clone()),
+            Node::Const(c) => Term::Const((**c).clone()),
+            Node::Comb(f, x) => Term::Comb(*f, *x),
+            Node::Abs(v, body) => Term::Abs((**v).clone(), *body),
+        })
+    }
+
+    /// The type of the term — cached at interning time, so this never
+    /// recurses into the term.
+    pub fn ty(&self) -> Type {
+        with_arena(|a| a.node(*self).ty.clone())
     }
 
     /// Destructs an application into `(operator, operand)`.
-    pub fn dest_comb(&self) -> Result<(&TermRef, &TermRef)> {
-        match self {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the term is not an application.
+    pub fn dest_comb(&self) -> Result<(TermRef, TermRef)> {
+        match self.view() {
             Term::Comb(f, x) => Ok((f, x)),
-            other => Err(LogicError::ill_formed(
+            _ => Err(LogicError::ill_formed(
                 "dest_comb",
-                format!("not an application: {other}"),
+                format!("not an application: {self}"),
             )),
         }
     }
 
     /// Destructs an abstraction into `(bound variable, body)`.
-    pub fn dest_abs(&self) -> Result<(&Var, &TermRef)> {
-        match self {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the term is not an abstraction.
+    pub fn dest_abs(&self) -> Result<(Var, TermRef)> {
+        match self.view() {
             Term::Abs(v, body) => Ok((v, body)),
-            other => Err(LogicError::ill_formed(
+            _ => Err(LogicError::ill_formed(
                 "dest_abs",
-                format!("not an abstraction: {other}"),
+                format!("not an abstraction: {self}"),
             )),
         }
     }
 
     /// Destructs a variable.
-    pub fn dest_var(&self) -> Result<&Var> {
-        match self {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the term is not a variable.
+    pub fn dest_var(&self) -> Result<Var> {
+        match self.view() {
             Term::Var(v) => Ok(v),
-            other => Err(LogicError::ill_formed(
+            _ => Err(LogicError::ill_formed(
                 "dest_var",
-                format!("not a variable: {other}"),
+                format!("not a variable: {self}"),
             )),
         }
     }
 
     /// Destructs a constant occurrence.
-    pub fn dest_const(&self) -> Result<&ConstRef> {
-        match self {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the term is not a constant.
+    pub fn dest_const(&self) -> Result<ConstRef> {
+        match self.view() {
             Term::Const(c) => Ok(c),
-            other => Err(LogicError::ill_formed(
+            _ => Err(LogicError::ill_formed(
                 "dest_const",
-                format!("not a constant: {other}"),
+                format!("not a constant: {self}"),
             )),
         }
     }
 
     /// Destructs an equation `l = r` into `(l, r)`.
-    pub fn dest_eq(&self) -> Result<(&TermRef, &TermRef)> {
-        if let Term::Comb(fl, r) = self {
-            if let Term::Comb(eq, l) = fl.as_ref() {
-                if let Term::Const(c) = eq.as_ref() {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the term is not an equation.
+    pub fn dest_eq(&self) -> Result<(TermRef, TermRef)> {
+        if let Term::Comb(fl, r) = self.view() {
+            if let Term::Comb(eq, l) = fl.view() {
+                if let Term::Const(c) = eq.view() {
                     if c.name == "=" {
                         return Ok((l, r));
                     }
@@ -257,7 +935,7 @@ impl Term {
     /// Whether the term is a (possibly applied) occurrence of the named
     /// constant, i.e. the head of the application spine is that constant.
     pub fn head_is_const(&self, name: &str) -> bool {
-        match self.strip_comb().0.as_ref() {
+        match self.strip_comb().0.view() {
             Term::Const(c) => c.name == name,
             _ => false,
         }
@@ -266,147 +944,94 @@ impl Term {
     /// Splits an application spine `f x1 ... xn` into `(f, [x1, ..., xn])`.
     pub fn strip_comb(&self) -> (TermRef, Vec<TermRef>) {
         let mut args = Vec::new();
-        let mut cur = self.clone();
+        let mut cur = *self;
         loop {
-            match cur {
+            match cur.view() {
                 Term::Comb(f, x) => {
                     args.push(x);
-                    cur = f.as_ref().clone();
+                    cur = f;
                 }
-                other => {
+                _ => {
                     args.reverse();
-                    return (Rc::new(other), args);
+                    return (cur, args);
                 }
             }
         }
     }
 
     /// Collects the free variables of the term in first-occurrence order.
+    /// The underlying set is memoised per node, so repeated queries are
+    /// cheap.
     pub fn free_vars(&self) -> Vec<Var> {
-        let mut acc = Vec::new();
-        self.collect_free_vars(&mut Vec::new(), &mut acc);
-        acc
-    }
-
-    fn collect_free_vars(&self, bound: &mut Vec<Var>, acc: &mut Vec<Var>) {
-        match self {
-            Term::Var(v) => {
-                if !bound.contains(v) && !acc.contains(v) {
-                    acc.push(v.clone());
-                }
-            }
-            Term::Const(_) => {}
-            Term::Comb(f, x) => {
-                f.collect_free_vars(bound, acc);
-                x.collect_free_vars(bound, acc);
-            }
-            Term::Abs(v, body) => {
-                bound.push(v.clone());
-                body.collect_free_vars(bound, acc);
-                bound.pop();
-            }
-        }
+        with_arena(|a| (*a.fvs(*self)).clone())
     }
 
     /// Whether the given variable occurs free in the term.
     pub fn occurs_free(&self, v: &Var) -> bool {
-        match self {
-            Term::Var(w) => w == v,
-            Term::Const(_) => false,
-            Term::Comb(f, x) => f.occurs_free(v) || x.occurs_free(v),
-            Term::Abs(w, body) => w != v && body.occurs_free(v),
-        }
+        with_arena(|a| a.occurs_free(*self, v))
     }
 
     /// Collects the names of all constants occurring in the term.
     pub fn constants(&self) -> Vec<String> {
-        let mut acc = Vec::new();
-        self.collect_constants(&mut acc);
-        acc
-    }
-
-    fn collect_constants(&self, acc: &mut Vec<String>) {
-        match self {
-            Term::Var(_) => {}
-            Term::Const(c) => {
-                if !acc.iter().any(|n| n == &c.name) {
-                    acc.push(c.name.clone());
+        fn go(t: TermRef, acc: &mut Vec<String>) {
+            match t.view() {
+                Term::Var(_) => {}
+                Term::Const(c) => {
+                    if !acc.iter().any(|n| n == &c.name) {
+                        acc.push(c.name);
+                    }
                 }
+                Term::Comb(f, x) => {
+                    go(f, acc);
+                    go(x, acc);
+                }
+                Term::Abs(_, body) => go(body, acc),
             }
-            Term::Comb(f, x) => {
-                f.collect_constants(acc);
-                x.collect_constants(acc);
-            }
-            Term::Abs(_, body) => body.collect_constants(acc),
         }
+        let mut acc = Vec::new();
+        go(*self, &mut acc);
+        acc
     }
 
     /// All type variables occurring in the term.
     pub fn type_vars(&self) -> Vec<String> {
-        let mut acc = Vec::new();
-        self.collect_type_vars(&mut acc);
-        acc
-    }
-
-    fn collect_type_vars(&self, acc: &mut Vec<String>) {
-        let push_all = |ty: &Type, acc: &mut Vec<String>| {
+        fn push_all(ty: &Type, acc: &mut Vec<String>) {
             for v in ty.type_vars() {
                 if !acc.contains(&v) {
                     acc.push(v);
                 }
             }
-        };
-        match self {
-            Term::Var(v) => push_all(&v.ty, acc),
-            Term::Const(c) => push_all(&c.ty, acc),
-            Term::Comb(f, x) => {
-                f.collect_type_vars(acc);
-                x.collect_type_vars(acc);
-            }
-            Term::Abs(v, body) => {
-                push_all(&v.ty, acc);
-                body.collect_type_vars(acc);
+        }
+        fn go(t: TermRef, acc: &mut Vec<String>) {
+            match t.view() {
+                Term::Var(v) => push_all(&v.ty, acc),
+                Term::Const(c) => push_all(&c.ty, acc),
+                Term::Comb(f, x) => {
+                    go(f, acc);
+                    go(x, acc);
+                }
+                Term::Abs(v, body) => {
+                    push_all(&v.ty, acc);
+                    go(body, acc);
+                }
             }
         }
+        let mut acc = Vec::new();
+        go(*self, &mut acc);
+        acc
     }
 
     /// The number of constructors in the term (a rough size measure used by
-    /// the experiments).
+    /// the experiments) — cached at interning time.
     pub fn size(&self) -> usize {
-        match self {
-            Term::Var(_) | Term::Const(_) => 1,
-            Term::Comb(f, x) => 1 + f.size() + x.size(),
-            Term::Abs(_, body) => 1 + body.size(),
-        }
+        with_arena(|a| a.node(*self).size.min(usize::MAX as u64) as usize)
     }
 
-    /// Alpha-equivalence of terms.
-    pub fn aconv(&self, other: &Term) -> bool {
-        fn go(a: &Term, b: &Term, env: &mut Vec<(Var, Var)>) -> bool {
-            match (a, b) {
-                (Term::Var(v), Term::Var(w)) => {
-                    for (x, y) in env.iter().rev() {
-                        if x == v || y == w {
-                            return x == v && y == w;
-                        }
-                    }
-                    v == w
-                }
-                (Term::Const(c), Term::Const(d)) => c == d,
-                (Term::Comb(f1, x1), Term::Comb(f2, x2)) => go(f1, f2, env) && go(x1, x2, env),
-                (Term::Abs(v, b1), Term::Abs(w, b2)) => {
-                    if v.ty != w.ty {
-                        return false;
-                    }
-                    env.push((v.clone(), w.clone()));
-                    let r = go(b1, b2, env);
-                    env.pop();
-                    r
-                }
-                _ => false,
-            }
-        }
-        go(self, other, &mut Vec::new())
+    /// Alpha-equivalence of terms. Identical handles compare in O(1);
+    /// distinct handles are compared structurally with memoisation on node
+    /// ids.
+    pub fn aconv(&self, other: &TermRef) -> bool {
+        with_arena(|a| a.aconv(*self, *other))
     }
 }
 
@@ -428,122 +1053,48 @@ pub fn variant(avoid: &[Var], v: &Var) -> Var {
 ///
 /// Pairs whose variable does not occur free are simply ignored. Bound
 /// variables are renamed when a replacement term would otherwise capture
-/// them.
+/// them. Results are memoised on (substitution id, term id), so repeated
+/// substitution over shared structure is paid once.
+///
+/// # Panics
+///
+/// Panics if a replacement term's type differs from its variable's type
+/// *and* that variable occurs free in `t` (the kernel rules check this
+/// before calling; an ill-typed live substitution could otherwise produce
+/// an ill-typed term). Dead bindings are ignored, ill-typed or not, as in
+/// the pre-arena implementation.
 pub fn vsubst(theta: &TermSubst, t: &TermRef) -> TermRef {
-    if theta.is_empty() {
-        return Rc::clone(t);
-    }
-    match t.as_ref() {
-        Term::Var(v) => theta
-            .iter()
-            .find(|(w, _)| w == v)
-            .map(|(_, s)| Rc::clone(s))
-            .unwrap_or_else(|| Rc::clone(t)),
-        Term::Const(_) => Rc::clone(t),
-        Term::Comb(f, x) => {
-            let f2 = vsubst(theta, f);
-            let x2 = vsubst(theta, x);
-            if Rc::ptr_eq(&f2, f) && Rc::ptr_eq(&x2, x) {
-                Rc::clone(t)
-            } else {
-                Rc::new(Term::Comb(f2, x2))
-            }
-        }
-        Term::Abs(v, body) => {
-            // Remove bindings for the bound variable itself.
-            let filtered: TermSubst = theta.iter().filter(|(w, _)| w != v).cloned().collect();
-            if filtered.is_empty() {
-                return Rc::clone(t);
-            }
-            // Only keep bindings whose variable actually occurs free in the body.
-            let relevant: TermSubst = filtered
-                .into_iter()
-                .filter(|(w, _)| body.occurs_free(w))
-                .collect();
-            if relevant.is_empty() {
-                return Rc::clone(t);
-            }
-            // Would the bound variable be captured by one of the replacements?
-            let capture = relevant.iter().any(|(_, s)| s.occurs_free(v));
-            if capture {
-                let mut avoid: Vec<Var> = body.free_vars();
-                for (_, s) in &relevant {
-                    avoid.extend(s.free_vars());
-                }
-                let fresh = variant(&avoid, v);
-                let renamed_body = vsubst(&vec![(v.clone(), fresh.term())], body);
-                let new_body = vsubst(&relevant, &renamed_body);
-                Rc::new(Term::Abs(fresh, new_body))
-            } else {
-                let new_body = vsubst(&relevant, body);
-                Rc::new(Term::Abs(v.clone(), new_body))
-            }
-        }
-    }
+    with_arena(|a| match a.normalize_subst(theta, *t) {
+        None => *t,
+        Some(sid) => a.vsubst_rec(sid, *t),
+    })
 }
 
 /// Applies a type substitution to every type annotation in the term,
 /// renaming bound variables when the instantiation would cause capture.
+/// Memoised on (type-substitution id, term id).
 pub fn inst_type(theta: &TypeSubst, t: &TermRef) -> TermRef {
-    if theta.is_empty() {
-        return Rc::clone(t);
-    }
-    fn go(theta: &TypeSubst, t: &TermRef) -> TermRef {
-        match t.as_ref() {
-            Term::Var(v) => mk_var(v.name.clone(), v.ty.subst(theta)),
-            Term::Const(c) => mk_const(c.name.clone(), c.ty.subst(theta)),
-            Term::Comb(f, x) => Rc::new(Term::Comb(go(theta, f), go(theta, x))),
-            Term::Abs(v, body) => {
-                let new_var = Var::new(v.name.clone(), v.ty.subst(theta));
-                let new_body = go(theta, body);
-                // Detect capture: a distinct free variable of the original body
-                // could collide with the instantiated bound variable.
-                let clash = body
-                    .free_vars()
-                    .into_iter()
-                    .any(|w| w != *v && w.name == new_var.name && w.ty.subst(theta) == new_var.ty);
-                if clash {
-                    let avoid: Vec<Var> = new_body.free_vars();
-                    let fresh = variant(&avoid, &new_var);
-                    let renamed = vsubst(&vec![(new_var.clone(), fresh.term())], &new_body);
-                    Rc::new(Term::Abs(fresh, renamed))
-                } else {
-                    Rc::new(Term::Abs(new_var, new_body))
-                }
-            }
-        }
-    }
-    go(theta, t)
+    with_arena(|a| match a.ty_subst_id(theta) {
+        None => *t,
+        Some(sid) => a.inst_type_rec(sid, *t),
+    })
 }
 
 /// One step of beta reduction at the root: `(\x. b) a  ~>  b[a/x]`.
+/// Memoised on the redex id.
 ///
 /// # Errors
 ///
 /// Fails if the term is not a beta redex.
 pub fn beta_reduce(t: &TermRef) -> Result<TermRef> {
-    let (f, a) = t.dest_comb()?;
-    let (v, body) = f.dest_abs()?;
-    Ok(vsubst(&vec![(v.clone(), Rc::clone(a))], body))
+    with_arena(|a| a.beta_reduce(*t))
+        .ok_or_else(|| LogicError::ill_formed("beta_reduce", format!("not a beta redex: {t}")))
 }
 
 /// Exhaustive beta normalisation (call-by-name, normal order). Terminates on
-/// the simply-typed terms used throughout this crate.
+/// the simply-typed terms used throughout this crate. Memoised per node.
 pub fn beta_normalize(t: &TermRef) -> TermRef {
-    match t.as_ref() {
-        Term::Var(_) | Term::Const(_) => Rc::clone(t),
-        Term::Abs(v, body) => Rc::new(Term::Abs(v.clone(), beta_normalize(body))),
-        Term::Comb(f, x) => {
-            let f_n = beta_normalize(f);
-            let x_n = beta_normalize(x);
-            if let Term::Abs(v, body) = f_n.as_ref() {
-                let reduced = vsubst(&vec![(v.clone(), Rc::clone(&x_n))], body);
-                beta_normalize(&reduced)
-            } else {
-                Rc::new(Term::Comb(f_n, x_n))
-            }
-        }
-    }
+    with_arena(|a| a.beta_nf(*t))
 }
 
 // ---------------------------------------------------------------------------
@@ -585,13 +1136,13 @@ fn match_rec(
     bound: &mut Vec<(Var, Var)>,
     m: &mut Matching,
 ) -> Result<()> {
-    match (pattern.as_ref(), term.as_ref()) {
+    match (pattern.view(), term.view()) {
         (Term::Var(pv), _) => {
             // A pattern variable that is bound must map to the corresponding
             // bound variable of the term.
-            if let Some((_, tv)) = bound.iter().rev().find(|(p, _)| p == pv) {
-                return match term.as_ref() {
-                    Term::Var(w) if w == tv => Ok(()),
+            if let Some((_, tv)) = bound.iter().rev().find(|(p, _)| *p == pv) {
+                return match term.view() {
+                    Term::Var(w) if w == *tv => Ok(()),
                     _ => Err(LogicError::match_failure(format!(
                         "bound variable {} does not correspond",
                         pv.name
@@ -607,8 +1158,8 @@ fn match_rec(
                     )));
                 }
             }
-            pv.ty.match_against(&term.ty()?, &mut m.type_subst)?;
-            if let Some((_, existing)) = m.term_subst.iter().find(|(w, _)| w == pv) {
+            pv.ty.match_against(&term.ty(), &mut m.type_subst)?;
+            if let Some((_, existing)) = m.term_subst.iter().find(|(w, _)| *w == pv) {
                 if existing.aconv(term) {
                     Ok(())
                 } else {
@@ -618,7 +1169,7 @@ fn match_rec(
                     )))
                 }
             } else {
-                m.term_subst.push((pv.clone(), Rc::clone(term)));
+                m.term_subst.push((pv, *term));
                 Ok(())
             }
         }
@@ -632,13 +1183,13 @@ fn match_rec(
             pc.ty.match_against(&tc.ty, &mut m.type_subst)
         }
         (Term::Comb(pf, px), Term::Comb(tf, tx)) => {
-            match_rec(pf, tf, bound, m)?;
-            match_rec(px, tx, bound, m)
+            match_rec(&pf, &tf, bound, m)?;
+            match_rec(&px, &tx, bound, m)
         }
         (Term::Abs(pv, pb), Term::Abs(tv, tb)) => {
             pv.ty.match_against(&tv.ty, &mut m.type_subst)?;
-            bound.push((pv.clone(), tv.clone()));
-            let r = match_rec(pb, tb, bound, m);
+            bound.push((pv, tv));
+            let r = match_rec(&pb, &tb, bound, m);
             bound.pop();
             r
         }
@@ -652,55 +1203,209 @@ fn match_rec(
 // Display
 // ---------------------------------------------------------------------------
 
-impl fmt::Display for Term {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn go(t: &Term, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
-            match t {
-                Term::Var(v) => write!(f, "{}", v.name),
-                Term::Const(c) => write!(f, "{}", c.name),
-                Term::Comb(g, x) => {
-                    // Special-case infix equality for readability.
-                    if let Term::Comb(eq, l) = g.as_ref() {
-                        if let Term::Const(c) = eq.as_ref() {
-                            if c.name == "=" {
-                                if prec > 0 {
-                                    write!(f, "(")?;
-                                }
-                                go(l, f, 1)?;
-                                write!(f, " = ")?;
-                                go(x, f, 1)?;
-                                if prec > 0 {
-                                    write!(f, ")")?;
-                                }
-                                return Ok(());
-                            }
+fn fmt_term(a: &TermArena, t: TermRef, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match &a.node(t).node {
+        Node::Var(v) => write!(f, "{}", v.name),
+        Node::Const(c) => write!(f, "{}", c.name),
+        Node::Comb(g, x) => {
+            // Special-case infix equality for readability.
+            if let Node::Comb(eq, l) = &a.node(*g).node {
+                if let Node::Const(c) = &a.node(*eq).node {
+                    if c.name == "=" {
+                        if prec > 0 {
+                            write!(f, "(")?;
                         }
+                        fmt_term(a, *l, f, 1)?;
+                        write!(f, " = ")?;
+                        fmt_term(a, *x, f, 1)?;
+                        if prec > 0 {
+                            write!(f, ")")?;
+                        }
+                        return Ok(());
                     }
-                    if prec > 1 {
-                        write!(f, "(")?;
+                }
+            }
+            if prec > 1 {
+                write!(f, "(")?;
+            }
+            fmt_term(a, *g, f, 1)?;
+            write!(f, " ")?;
+            fmt_term(a, *x, f, 2)?;
+            if prec > 1 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Node::Abs(v, body) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "\\{}. ", v.name)?;
+            fmt_term(a, *body, f, 0)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for TermRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        ARENA.with(|a| {
+            let a = a.borrow();
+            fmt_term(&a, *self, f, 0)
+        })
+    }
+}
+
+impl fmt::Debug for TermRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TermRef#{}({})", self.id, self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementations (differential testing)
+// ---------------------------------------------------------------------------
+
+/// Slow, structurally recursive reference implementations of the core term
+/// operations, retained verbatim from the pre-arena kernel. They exist so
+/// the property suite (`tests/arena_properties.rs`) can check that the
+/// memoised arena operations agree with the original recursive definitions
+/// on every generated term. Not part of the public API surface.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Recursive type computation (the pre-arena `Term::ty`).
+    pub fn ty(t: &TermRef) -> Type {
+        match t.view() {
+            Term::Var(v) => v.ty,
+            Term::Const(c) => c.ty,
+            Term::Comb(f, _) => {
+                let fty = ty(&f);
+                let (_, cod) = fty.dest_fun().expect("well-typed by interning");
+                cod.clone()
+            }
+            Term::Abs(v, body) => Type::fun(v.ty, ty(&body)),
+        }
+    }
+
+    /// Recursive size computation.
+    pub fn size(t: &TermRef) -> usize {
+        match t.view() {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::Comb(f, x) => 1 + size(&f) + size(&x),
+            Term::Abs(_, body) => 1 + size(&body),
+        }
+    }
+
+    /// Recursive free-variable collection in first-occurrence order.
+    pub fn free_vars(t: &TermRef) -> Vec<Var> {
+        fn go(t: &TermRef, bound: &mut Vec<Var>, acc: &mut Vec<Var>) {
+            match t.view() {
+                Term::Var(v) => {
+                    if !bound.contains(&v) && !acc.contains(&v) {
+                        acc.push(v);
                     }
-                    go(g, f, 1)?;
-                    write!(f, " ")?;
-                    go(x, f, 2)?;
-                    if prec > 1 {
-                        write!(f, ")")?;
-                    }
-                    Ok(())
+                }
+                Term::Const(_) => {}
+                Term::Comb(f, x) => {
+                    go(&f, bound, acc);
+                    go(&x, bound, acc);
                 }
                 Term::Abs(v, body) => {
-                    if prec > 0 {
-                        write!(f, "(")?;
-                    }
-                    write!(f, "\\{}. ", v.name)?;
-                    go(body, f, 0)?;
-                    if prec > 0 {
-                        write!(f, ")")?;
-                    }
-                    Ok(())
+                    bound.push(v);
+                    go(&body, bound, acc);
+                    bound.pop();
                 }
             }
         }
-        go(self, f, 0)
+        let mut acc = Vec::new();
+        go(t, &mut Vec::new(), &mut acc);
+        acc
+    }
+
+    /// Recursive, unmemoised alpha-equivalence.
+    pub fn aconv(a: &TermRef, b: &TermRef) -> bool {
+        fn go(a: &TermRef, b: &TermRef, env: &mut Vec<(Var, Var)>) -> bool {
+            match (a.view(), b.view()) {
+                (Term::Var(v), Term::Var(w)) => {
+                    for (x, y) in env.iter().rev() {
+                        if *x == v || *y == w {
+                            return *x == v && *y == w;
+                        }
+                    }
+                    v == w
+                }
+                (Term::Const(c), Term::Const(d)) => c == d,
+                (Term::Comb(f1, x1), Term::Comb(f2, x2)) => go(&f1, &f2, env) && go(&x1, &x2, env),
+                (Term::Abs(v, b1), Term::Abs(w, b2)) => {
+                    if v.ty != w.ty {
+                        return false;
+                    }
+                    env.push((v, w));
+                    let r = go(&b1, &b2, env);
+                    env.pop();
+                    r
+                }
+                _ => false,
+            }
+        }
+        go(a, b, &mut Vec::new())
+    }
+
+    /// Recursive, unmemoised capture-avoiding substitution (the pre-arena
+    /// `vsubst`, rebuilt over the view API).
+    pub fn vsubst(theta: &TermSubst, t: &TermRef) -> TermRef {
+        if theta.is_empty() {
+            return *t;
+        }
+        match t.view() {
+            Term::Var(v) => theta
+                .iter()
+                .find(|(w, _)| *w == v)
+                .map(|(_, s)| *s)
+                .unwrap_or(*t),
+            Term::Const(_) => *t,
+            Term::Comb(f, x) => {
+                let f2 = vsubst(theta, &f);
+                let x2 = vsubst(theta, &x);
+                if f2 == f && x2 == x {
+                    *t
+                } else {
+                    mk_comb(&f2, &x2).expect("substitution preserves typing")
+                }
+            }
+            Term::Abs(v, body) => {
+                let filtered: TermSubst = theta.iter().filter(|(w, _)| *w != v).cloned().collect();
+                if filtered.is_empty() {
+                    return *t;
+                }
+                let relevant: TermSubst = filtered
+                    .into_iter()
+                    .filter(|(w, _)| body.occurs_free(w))
+                    .collect();
+                if relevant.is_empty() {
+                    return *t;
+                }
+                let capture = relevant.iter().any(|(_, s)| s.occurs_free(&v));
+                if capture {
+                    let mut avoid: Vec<Var> = free_vars(&body);
+                    for (_, s) in &relevant {
+                        avoid.extend(free_vars(s));
+                    }
+                    let fresh = variant(&avoid, &v);
+                    let renamed_body = vsubst(&vec![(v.clone(), fresh.term())], &body);
+                    let new_body = vsubst(&relevant, &renamed_body);
+                    mk_abs(&fresh, &new_body)
+                } else {
+                    let new_body = vsubst(&relevant, &body);
+                    mk_abs(&v, &new_body)
+                }
+            }
+        }
     }
 }
 
@@ -744,6 +1449,31 @@ mod tests {
     }
 
     #[test]
+    fn structurally_equal_terms_share_an_id() {
+        // The hash-consing invariant: building the same term twice, in any
+        // order, yields the same arena id — so `==` is structural equality.
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        let t1 = mk_abs(&x, &mk_eq(&x.term(), &y.term()).unwrap());
+        let t2 = mk_abs(&x, &mk_eq(&x.term(), &y.term()).unwrap());
+        assert_eq!(t1, t2);
+        assert_eq!(t1.id(), t2.id());
+        // A different term gets a different id.
+        let t3 = mk_abs(&y, &mk_eq(&x.term(), &y.term()).unwrap());
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn cached_type_matches_recursive_type() {
+        let x = Var::new("x", b());
+        let y = mk_var("y", Type::bv(4));
+        let f = mk_var("f", Type::fun(Type::bv(4), b()));
+        let t = mk_abs(&x, &mk_eq(&mk_comb(&f, &y).unwrap(), &x.term()).unwrap());
+        assert_eq!(t.ty(), reference::ty(&t));
+        assert_eq!(t.size(), reference::size(&t));
+    }
+
+    #[test]
     fn free_vars_and_occurs() {
         let x = Var::new("x", b());
         let y = Var::new("y", b());
@@ -762,7 +1492,7 @@ mod tests {
         let id_x = mk_abs(&x, &x.term());
         let id_y = mk_abs(&y, &y.term());
         assert!(id_x.aconv(&id_y));
-        assert_ne!(*id_x, *id_y); // syntactically different
+        assert_ne!(id_x, id_y); // syntactically different -> different ids
         let konst = mk_abs(&x, &y.term());
         assert!(!id_x.aconv(&konst));
     }
@@ -774,6 +1504,20 @@ mod tests {
         let y = Var::new("y", b());
         let t1 = mk_abs(&x, &mk_abs(&y, &x.term()));
         let t2 = mk_abs(&y, &mk_abs(&y, &y.term()));
+        assert!(!t1.aconv(&t2));
+    }
+
+    #[test]
+    fn aconv_shared_subterm_under_binder() {
+        // \x. c = \y. c with a shared closed body: the id fast path under a
+        // binder environment must still be correct.
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        let c = mk_const("c", b());
+        assert!(mk_abs(&x, &c).aconv(&mk_abs(&y, &c)));
+        // \x. x vs \y. x: identical body ids but NOT alpha-equivalent.
+        let t1 = mk_abs(&x, &x.term());
+        let t2 = mk_abs(&y, &x.term());
         assert!(!t1.aconv(&t2));
     }
 
@@ -795,6 +1539,44 @@ mod tests {
         let t = mk_abs(&x, &x.term());
         let s = vsubst(&vec![(x.clone(), mk_var("z", b()))], &t);
         assert!(s.aconv(&t));
+    }
+
+    #[test]
+    fn substitution_is_memoised_and_agrees_with_reference() {
+        let x = Var::new("x", b());
+        let y = Var::new("y", b());
+        let base = mk_eq(&x.term(), &y.term()).unwrap();
+        let t = mk_abs(&y, &mk_eq(&base, &base).unwrap());
+        let theta = vec![(x.clone(), y.term())];
+        let fast = vsubst(&theta, &t);
+        let slow = reference::vsubst(&theta, &t);
+        assert_eq!(fast, slow);
+        // A second run hits the (subst, term) cache and returns the same id.
+        assert_eq!(vsubst(&theta, &t), fast);
+    }
+
+    #[test]
+    fn first_binding_wins_even_when_it_is_an_identity() {
+        // [x := x, x := y] must behave like the first binding alone: the
+        // later duplicate is shadowed, not applied.
+        let x = Var::new("x", b());
+        let y = mk_var("y", b());
+        let theta = vec![(x.clone(), x.term()), (x.clone(), y)];
+        assert_eq!(vsubst(&theta, &x.term()), x.term());
+        assert_eq!(
+            vsubst(&theta, &x.term()),
+            reference::vsubst(&theta, &x.term())
+        );
+    }
+
+    #[test]
+    fn dead_ill_typed_bindings_are_ignored() {
+        // A binding for a variable that does not occur free is dropped
+        // before the type check, like the recursive implementation did.
+        let x = Var::new("x", b());
+        let t = mk_var("q", b());
+        let theta = vec![(x, mk_var("n", Type::bv(8)))];
+        assert_eq!(vsubst(&theta, &t), t);
     }
 
     #[test]
@@ -828,7 +1610,16 @@ mod tests {
         let mut theta = TypeSubst::new();
         theta.insert("a".into(), Type::bv(8));
         let inst = inst_type(&theta, &x);
-        assert_eq!(inst.ty().unwrap(), Type::bv(8));
+        assert_eq!(inst.ty(), Type::bv(8));
+    }
+
+    #[test]
+    fn inst_type_ground_terms_are_untouched() {
+        let t = mk_eq(&mk_var("p", b()), &mk_var("q", b())).unwrap();
+        let mut theta = TypeSubst::new();
+        theta.insert("a".into(), Type::bv(8));
+        // Fast path: no type variables below the node -> identical handle.
+        assert_eq!(inst_type(&theta, &t), t);
     }
 
     #[test]
@@ -898,7 +1689,7 @@ mod tests {
         let f = mk_var("f", Type::fun(b(), Type::fun(b(), b())));
         let x = mk_var("x", b());
         let y = mk_var("y", b());
-        let t = list_mk_comb(&f, &[x.clone(), y.clone()]).unwrap();
+        let t = list_mk_comb(&f, &[x, y]).unwrap();
         let (head, args) = t.strip_comb();
         assert!(head.aconv(&f));
         assert_eq!(args.len(), 2);
@@ -917,5 +1708,22 @@ mod tests {
         let x = Var::new("x", b());
         let t = mk_abs(&x, &mk_eq(&x.term(), &mk_const("T", b())).unwrap());
         assert_eq!(t.to_string(), "\\x. x = T");
+    }
+
+    #[test]
+    fn equality_on_large_terms_is_an_id_compare() {
+        // Build the same deep application chain twice: interning makes the
+        // two handles identical, so equality never walks the tree.
+        let f = mk_var("f", Type::fun(b(), b()));
+        let mut t1 = mk_var("x", b());
+        let mut t2 = mk_var("x", b());
+        for _ in 0..500 {
+            t1 = mk_comb(&f, &t1).unwrap();
+            t2 = mk_comb(&f, &t2).unwrap();
+        }
+        assert_eq!(t1, t2);
+        assert_eq!(t1.id(), t2.id());
+        assert!(t1.aconv(&t2));
+        assert_eq!(t1.size(), 1001);
     }
 }

@@ -17,7 +17,7 @@
 //! of axioms and delta rules of the boolean, pair and Automata theories.
 
 use crate::error::{LogicError, Result};
-use crate::term::{mk_const, Term, TermRef};
+use crate::term::{mk_const, TermRef};
 use crate::thm::Theorem;
 use crate::types::{Type, TypeSubst};
 use std::collections::BTreeMap;
@@ -126,7 +126,7 @@ impl Theory {
     /// Fails if the term is not boolean or the name is already used.
     pub fn new_axiom(&mut self, name: impl Into<String>, term: &TermRef) -> Result<Theorem> {
         let name = name.into();
-        if !term.ty()?.is_bool() {
+        if !term.ty().is_bool() {
             return Err(LogicError::theory(format!(
                 "axiom {name} is not a boolean term: {term}"
             )));
@@ -134,7 +134,7 @@ impl Theory {
         if self.axioms.iter().any(|(n, _)| *n == name) {
             return Err(LogicError::theory(format!("axiom {name} already exists")));
         }
-        let th = Theorem::trusted(Vec::new(), Rc::clone(term));
+        let th = Theorem::trusted(Vec::new(), *term);
         self.axioms.push((name, th.clone()));
         Ok(th)
     }
@@ -176,7 +176,7 @@ impl Theory {
                 "definition {name} already exists"
             )));
         }
-        let ty = body.ty()?;
+        let ty = body.ty();
         self.constants.insert(const_name.clone(), ty.clone());
         let c = mk_const(const_name, ty);
         let concl = crate::term::mk_eq(&c, body)?;
@@ -226,8 +226,8 @@ impl Theory {
                 format!("rule {name} does not apply to {term}"),
             )
         })?;
-        let tty = term.ty()?;
-        let rty = result.ty()?;
+        let tty = term.ty();
+        let rty = result.ty();
         if tty != rty {
             return Err(LogicError::type_mismatch(
                 format!("delta rule {name}"),
@@ -298,7 +298,7 @@ impl std::fmt::Debug for Theory {
 
 /// Convenience: is the term a variable-free ("ground") term? Computation
 /// rules usually only apply to ground terms.
-pub fn is_ground(term: &Term) -> bool {
+pub fn is_ground(term: &TermRef) -> bool {
     term.free_vars().is_empty()
 }
 
@@ -323,7 +323,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(
-            inst.ty().unwrap(),
+            inst.ty(),
             Type::fun(Type::prod(Type::bool(), Type::bv(4)), Type::bool())
         );
         // Not an instance of the generic type:
@@ -371,8 +371,7 @@ mod tests {
     fn delta_rules_are_type_checked() {
         let mut thy = Theory::new();
         // A rule that "evaluates" the constant zero to itself.
-        thy.new_delta_rule("id_rule", |t| Some(Rc::clone(t)))
-            .unwrap();
+        thy.new_delta_rule("id_rule", |t| Some(*t)).unwrap();
         let c = mk_var("c", Type::bv(8));
         let th = thy.apply_delta("id_rule", &c).unwrap();
         assert_eq!(th.concl().to_string(), "c = c");

@@ -18,7 +18,6 @@ use crate::term::{
 };
 use crate::types::TypeSubst;
 use std::fmt;
-use std::rc::Rc;
 
 /// A theorem `Γ ⊢ c`: a conclusion `c` derived under hypotheses `Γ`.
 ///
@@ -34,7 +33,7 @@ pub struct Theorem {
 /// Inserts `t` into the alpha-deduplicated hypothesis list `hyps`.
 fn hyp_insert(hyps: &mut Vec<TermRef>, t: &TermRef) {
     if !hyps.iter().any(|h| h.aconv(t)) {
-        hyps.push(Rc::clone(t));
+        hyps.push(*t);
     }
 }
 
@@ -74,8 +73,7 @@ impl Theorem {
     ///
     /// Fails if the conclusion is not an equation.
     pub fn dest_eq(&self) -> Result<(TermRef, TermRef)> {
-        let (l, r) = self.concl.dest_eq()?;
-        Ok((Rc::clone(l), Rc::clone(r)))
+        self.concl.dest_eq()
     }
 
     /// Trusted constructor, only reachable from within this crate
@@ -104,7 +102,7 @@ impl Theorem {
         let (t2, u) = th2.concl.dest_eq().map_err(|_| {
             LogicError::ill_formed("TRANS", format!("not an equation: {}", th2.concl))
         })?;
-        if !t.aconv(t2) {
+        if !t.aconv(&t2) {
             return Err(LogicError::side_condition(
                 "TRANS",
                 format!("middle terms differ: {t} vs {t2}"),
@@ -112,7 +110,7 @@ impl Theorem {
         }
         Ok(Theorem {
             hyps: hyp_union(&th1.hyps, &th2.hyps),
-            concl: mk_eq(s, u)?,
+            concl: mk_eq(&s, &u)?,
         })
     }
 
@@ -141,8 +139,8 @@ impl Theorem {
         let (x, y) = th_arg.concl.dest_eq().map_err(|_| {
             LogicError::ill_formed("MK_COMB", format!("not an equation: {}", th_arg.concl))
         })?;
-        let lhs = mk_comb(f, x)?;
-        let rhs = mk_comb(g, y)?;
+        let lhs = mk_comb(&f, &x)?;
+        let rhs = mk_comb(&g, &y)?;
         Ok(Theorem {
             hyps: hyp_union(&th_fun.hyps, &th_arg.hyps),
             concl: mk_eq(&lhs, &rhs)?,
@@ -162,8 +160,8 @@ impl Theorem {
                 format!("variable {} occurs free in a hypothesis", v.name),
             ));
         }
-        let lhs = mk_abs(v, s);
-        let rhs = mk_abs(v, t);
+        let lhs = mk_abs(v, &s);
+        let rhs = mk_abs(v, &t);
         Ok(Theorem {
             hyps: th.hyps.clone(),
             concl: mk_eq(&lhs, &rhs)?,
@@ -182,15 +180,15 @@ impl Theorem {
 
     /// `ASSUME`: for a boolean term `t`, derive `{t} ⊢ t`.
     pub fn assume(t: &TermRef) -> Result<Theorem> {
-        if !t.ty()?.is_bool() {
+        if !t.ty().is_bool() {
             return Err(LogicError::ill_formed(
                 "ASSUME",
                 format!("term is not boolean: {t}"),
             ));
         }
         Ok(Theorem {
-            hyps: vec![Rc::clone(t)],
-            concl: Rc::clone(t),
+            hyps: vec![*t],
+            concl: *t,
         })
     }
 
@@ -208,7 +206,7 @@ impl Theorem {
         }
         Ok(Theorem {
             hyps: hyp_union(&th_eq.hyps, &th.hyps),
-            concl: Rc::clone(b),
+            concl: b,
         })
     }
 
@@ -232,7 +230,7 @@ impl Theorem {
     /// Fails if a replacement term's type differs from its variable's type.
     pub fn inst(&self, theta: &TermSubst) -> Result<Theorem> {
         for (v, t) in theta {
-            let tty = t.ty()?;
+            let tty = t.ty();
             if tty != v.ty {
                 return Err(LogicError::type_mismatch(
                     format!("INST of variable {}", v.name),
@@ -265,9 +263,9 @@ impl Theorem {
         // Standard derivation: MK_COMB of (= applied to a) congruence.
         let (eq_a, _) = self.concl.dest_comb()?; // (= a)
         let (eq_tm, _) = eq_a.dest_comb()?; // =
-        let refl_eq = Theorem::refl(eq_tm)?;
+        let refl_eq = Theorem::refl(&eq_tm)?;
         let th1 = Theorem::mk_comb(&refl_eq, self)?; // ⊢ (= a) = (= b)  [applied to a=b gives...]
-        let refl_a = Theorem::refl(a)?;
+        let refl_a = Theorem::refl(&a)?;
         let th2 = Theorem::mk_comb(&th1, &refl_a)?; // ⊢ (a = a) = (b = a)
         Theorem::eq_mp(&th2, &refl_a)
     }
@@ -433,7 +431,7 @@ mod tests {
         let p = Var::new("p", b());
         let q = mk_var("q", b());
         let th = Theorem::assume(&p.term()).unwrap();
-        let inst = th.inst(&vec![(p.clone(), q.clone())]).unwrap();
+        let inst = th.inst(&vec![(p.clone(), q)]).unwrap();
         assert!(inst.concl().aconv(&q));
         assert!(inst.hyps()[0].aconv(&q));
 
@@ -450,7 +448,7 @@ mod tests {
         theta.insert("a".into(), Type::bv(16));
         let inst = th.inst_type(&theta);
         let (l, _) = inst.dest_eq().unwrap();
-        assert_eq!(l.ty().unwrap(), Type::bv(16));
+        assert_eq!(l.ty(), Type::bv(16));
     }
 
     #[test]
@@ -476,8 +474,8 @@ mod tests {
         let id_y = mk_abs(&y, &y.term());
         let th = Theorem::alpha(&id_x, &id_y).unwrap();
         let (l, r) = th.dest_eq().unwrap();
-        assert_eq!(*l, *id_x);
-        assert_eq!(*r, *id_y);
+        assert_eq!(l, id_x);
+        assert_eq!(r, id_y);
 
         let konst = mk_abs(&x, &mk_const("T", b()));
         assert!(Theorem::alpha(&id_x, &konst).is_err());

@@ -1,0 +1,147 @@
+//! Differential property tests of the hash-consing term arena.
+//!
+//! The arena (PR 2) replaced the recursive `Rc<Term>` kernel representation
+//! with interned ids plus memoised operations. These properties pin the
+//! refactor down: every memoised arena operation must agree with the
+//! original structurally recursive definition (kept verbatim in
+//! `hash_logic::term::reference`), and structurally equal terms must always
+//! intern to the same id.
+
+use hash_logic::conv::beta_norm_thm;
+use hash_logic::prelude::*;
+use hash_logic::term::reference;
+use proptest::prelude::*;
+
+/// A strategy for well-typed boolean terms over variables p0..p3 built from
+/// equality, abstraction and beta redexes — the same shapes the kernel
+/// rules manipulate.
+fn bool_term(depth: u32) -> BoxedStrategy<TermRef> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| mk_var(format!("p{i}"), Type::bool())),
+        Just(mk_const("T", Type::bool())),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let sub = bool_term(depth - 1);
+        prop_oneof![
+            leaf,
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| mk_eq(&a, &b).expect("same type")),
+            (0u8..4, sub.clone()).prop_map(|(i, body)| {
+                // \pi. body = \pi. body — an equation between abstractions,
+                // so binders occur outside redex position too.
+                let v = Var::new(format!("p{i}"), Type::bool());
+                let lam = mk_abs(&v, &body);
+                mk_eq(&lam, &lam).expect("same type")
+            }),
+            (0u8..4, 0u8..4, sub).prop_map(|(i, j, body)| {
+                // (\pi. body) pj — a beta redex.
+                let v = Var::new(format!("p{i}"), Type::bool());
+                let arg = mk_var(format!("p{j}"), Type::bool());
+                mk_comb(&mk_abs(&v, &body), &arg).expect("well typed")
+            }),
+        ]
+        .boxed()
+    }
+}
+
+/// Rebuilds a term bottom-up through the public constructors. With
+/// hash-consing this must return the *identical* handle.
+fn rebuild(t: &TermRef) -> TermRef {
+    match t.view() {
+        Term::Var(v) => mk_var(v.name, v.ty),
+        Term::Const(c) => mk_const(c.name, c.ty),
+        Term::Comb(f, x) => mk_comb(&rebuild(&f), &rebuild(&x)).expect("well typed"),
+        Term::Abs(v, body) => mk_abs(&v, &rebuild(&body)),
+    }
+}
+
+proptest! {
+    // Fixed case count AND fixed RNG seed: CI explores exactly the same
+    // cases on every run, and a failure reproduces from the seed alone.
+    #![proptest_config(ProptestConfig::with_cases(256).with_rng_seed(0xE15E_4B1E_61E8_0004))]
+
+    #[test]
+    fn structurally_equal_terms_intern_to_the_same_id(t in bool_term(3)) {
+        let again = rebuild(&t);
+        prop_assert_eq!(again, t);
+        prop_assert_eq!(again.id(), t.id());
+    }
+
+    #[test]
+    fn cached_type_agrees_with_recursive_type(t in bool_term(3)) {
+        prop_assert_eq!(t.ty(), reference::ty(&t));
+    }
+
+    #[test]
+    fn cached_size_agrees_with_recursive_size(t in bool_term(3)) {
+        prop_assert_eq!(t.size(), reference::size(&t));
+    }
+
+    #[test]
+    fn memoised_free_vars_agree_with_recursive_collection(t in bool_term(3)) {
+        prop_assert_eq!(t.free_vars(), reference::free_vars(&t));
+        for v in (0..4).map(|i| Var::new(format!("p{i}"), Type::bool())) {
+            prop_assert_eq!(t.occurs_free(&v), reference::free_vars(&t).contains(&v));
+        }
+    }
+
+    #[test]
+    fn memoised_aconv_agrees_with_recursive_aconv(a in bool_term(3), b in bool_term(3)) {
+        prop_assert!(a.aconv(&a));
+        prop_assert_eq!(a.aconv(&b), reference::aconv(&a, &b));
+        // Asking twice exercises the cache path; the answer must not change.
+        prop_assert_eq!(a.aconv(&b), reference::aconv(&a, &b));
+    }
+
+    #[test]
+    fn memoised_substitution_agrees_with_recursive_substitution(
+        t in bool_term(3),
+        s in bool_term(2),
+        i in 0u8..4,
+    ) {
+        let v = Var::new(format!("p{i}"), Type::bool());
+        let theta = vec![(v, s)];
+        let fast = vsubst(&theta, &t);
+        let slow = reference::vsubst(&theta, &t);
+        // The memoised and the recursive substitution produce the *same
+        // interned term*, not merely alpha-equivalent ones.
+        prop_assert_eq!(fast, slow);
+        // Repeating hits the (subst id, term id) cache.
+        prop_assert_eq!(vsubst(&theta, &t), fast);
+    }
+
+    #[test]
+    fn parallel_substitution_agrees_with_reference(
+        t in bool_term(3),
+        s0 in bool_term(1),
+        s1 in bool_term(1),
+    ) {
+        let theta = vec![
+            (Var::new("p0", Type::bool()), s0),
+            (Var::new("p1", Type::bool()), s1),
+        ];
+        prop_assert_eq!(vsubst(&theta, &t), reference::vsubst(&theta, &t));
+    }
+
+    #[test]
+    fn memoised_beta_normalisation_matches_the_kernel_conversion(t in bool_term(3)) {
+        // The arena's direct normaliser must land on the same term the
+        // theorem-producing conversion (primitive rules only) reaches.
+        let nf = hash_logic::term::beta_normalize(&t);
+        let th = beta_norm_thm(&t).unwrap();
+        let (_, kernel_nf) = th.dest_eq().unwrap();
+        prop_assert!(nf.aconv(&kernel_nf));
+        // Normalisation is idempotent on the nose (same id).
+        prop_assert_eq!(hash_logic::term::beta_normalize(&nf), nf);
+    }
+
+    #[test]
+    fn identity_instantiations_return_the_identical_handle(t in bool_term(3)) {
+        // Empty and identity substitutions must not rebuild anything.
+        prop_assert_eq!(vsubst(&Vec::new(), &t), t);
+        let mut theta = TypeSubst::new();
+        theta.insert("unused".into(), Type::bv(8));
+        prop_assert_eq!(hash_logic::term::inst_type(&theta, &t), t);
+    }
+}

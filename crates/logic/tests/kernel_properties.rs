@@ -4,7 +4,6 @@
 use hash_logic::conv::beta_norm_thm;
 use hash_logic::prelude::*;
 use proptest::prelude::*;
-use std::rc::Rc;
 
 /// A small strategy for boolean terms over variables p0..p3 built from
 /// equality and lambda application.
@@ -47,7 +46,7 @@ proptest! {
         // variables.
         let p0 = Var::new("p0", Type::bool());
         let replacement = mk_const("T", Type::bool());
-        let s = vsubst(&vec![(p0.clone(), Rc::clone(&replacement))], &t);
+        let s = vsubst(&vec![(p0.clone(), replacement)], &t);
         prop_assert!(!s.occurs_free(&p0));
     }
 

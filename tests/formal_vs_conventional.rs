@@ -70,7 +70,7 @@ fn theorem_lhs_matches_the_encoded_circuit_and_rhs_has_literal_state() {
         .unwrap();
     let (lhs, rhs) = result.theorem.concl().dest_eq().unwrap();
     assert!(lhs.aconv(&result.encoding.circuit_term));
-    let (_, init) = retiming_suite::automata::dest_automaton(rhs).unwrap();
+    let (_, init) = retiming_suite::automata::dest_automaton(&rhs).unwrap();
     let values = retiming_suite::automata::literal_tuple_values(&init).unwrap();
     assert_eq!(values[0].as_u64(), 1, "f(0) = 1 for the incrementer");
 }

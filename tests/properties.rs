@@ -97,7 +97,7 @@ proptest! {
         let redex = mk_comb(&mk_abs(&x, &body), &a).unwrap();
         let th = beta_norm_thm(&redex).unwrap();
         let (_, nf) = th.dest_eq().unwrap();
-        let expected = list_mk_comb(&op, &[a.clone(), a.clone()]).unwrap();
+        let expected = list_mk_comb(&op, &[a, a]).unwrap();
         prop_assert!(nf.aconv(&expected));
     }
 }
