@@ -2,6 +2,29 @@
 
 use std::fmt;
 
+/// The resource whose budget was exhausted by a BDD operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// The live-node budget of the manager ([`crate::BddManager::with_node_limit`]).
+    /// The manager garbage-collects and retries before reporting this, so
+    /// hitting it means the *live* (externally reachable) BDDs genuinely
+    /// need more nodes than the budget allows.
+    Nodes,
+    /// The recursion-depth guard ([`crate::BddManager::with_depth_limit`]):
+    /// instead of overflowing the native stack on pathologically deep
+    /// BDDs, operations fail with this error.
+    Depth,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Nodes => write!(f, "live BDD nodes"),
+            ResourceKind::Depth => write!(f, "recursion depth"),
+        }
+    }
+}
+
 /// Errors raised by BDD operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BddError {
@@ -10,22 +33,41 @@ pub enum BddError {
         /// The offending variable index.
         var: u32,
     },
-    /// The soft node limit was exceeded; the verification run is reported
+    /// A resource budget was exceeded; the verification run is reported
     /// as a blow-up (the dashes in the paper's tables).
-    NodeLimit {
+    ResourceLimit {
+        /// Which budget ran out.
+        resource: ResourceKind,
         /// The configured limit.
         limit: usize,
     },
-    /// A variable renaming was not monotone in the variable order.
+    /// A variable renaming was not monotone in the variable order. Only the
+    /// textbook [`crate::manager::reference`] implementation raises this;
+    /// the production manager renames arbitrary (injective) maps.
     NonMonotoneRename,
+}
+
+impl BddError {
+    /// Shorthand for the live-node budget error.
+    pub fn node_limit(limit: usize) -> BddError {
+        BddError::ResourceLimit {
+            resource: ResourceKind::Nodes,
+            limit,
+        }
+    }
+
+    /// Whether this is a resource blow-up (node or depth budget).
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(self, BddError::ResourceLimit { .. })
+    }
 }
 
 impl fmt::Display for BddError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BddError::UnknownVariable { var } => write!(f, "unknown BDD variable {var}"),
-            BddError::NodeLimit { limit } => {
-                write!(f, "BDD node limit of {limit} nodes exceeded")
+            BddError::ResourceLimit { resource, limit } => {
+                write!(f, "BDD limit of {limit} {resource} exceeded")
             }
             BddError::NonMonotoneRename => write!(f, "variable renaming is not monotone"),
         }
@@ -46,9 +88,16 @@ mod tests {
         assert!(BddError::UnknownVariable { var: 7 }
             .to_string()
             .contains('7'));
-        assert!(BddError::NodeLimit { limit: 100 }
-            .to_string()
-            .contains("100"));
+        let e = BddError::node_limit(100);
+        assert!(e.to_string().contains("100"));
+        assert!(e.is_resource_limit());
+        let d = BddError::ResourceLimit {
+            resource: ResourceKind::Depth,
+            limit: 32,
+        };
+        assert!(d.to_string().contains("depth"));
+        assert!(d.is_resource_limit());
+        assert!(!BddError::NonMonotoneRename.is_resource_limit());
         assert!(!BddError::NonMonotoneRename.to_string().is_empty());
     }
 }

@@ -1,16 +1,19 @@
 //! # hash-bdd
 //!
-//! A reduced ordered binary decision diagram (ROBDD) package, built from
-//! scratch as the substrate for the post-synthesis verification baselines
-//! of the DATE'97 HASH retiming reproduction (`hash-equiv`): boolean
-//! tautology checking, SMV-style symbolic model checking, SIS-style FSM
-//! equivalence and van Eijk's signal-correspondence method all represent
-//! boolean functions and state sets as BDDs.
+//! A production-grade reduced ordered binary decision diagram (ROBDD)
+//! package, built from scratch as the substrate for the post-synthesis
+//! verification baselines of the DATE'97 HASH retiming reproduction
+//! (`hash-equiv`): boolean tautology checking, SMV-style symbolic model
+//! checking, SIS-style FSM equivalence and van Eijk's signal-correspondence
+//! method all represent boolean functions and state sets as BDDs.
 //!
-//! The manager offers hash-consed nodes, memoised `ite`, quantification,
-//! monotone variable renaming, restriction, model counting and a soft node
-//! limit used by the experiment harness to report blow-ups (the dashes in
-//! the paper's tables).
+//! The manager offers attributed **complement edges** (O(1) negation, one
+//! terminal node), **reference-counted garbage collection** with a
+//! live-node budget, a unified **size-bounded operation cache**, **Rudell
+//! sifting** dynamic variable reordering, fused relational products and
+//! depth-bounded recursion — see the [`manager`] module docs for the
+//! architecture and [`manager::reference`] for the textbook oracle used by
+//! the differential test suite.
 //!
 //! ## Example
 //!
@@ -22,11 +25,11 @@
 //! let x = m.var(0)?;
 //! let y = m.var(1)?;
 //! let f = m.and(x, y)?;
-//! let g = m.not(f)?;
-//! let nx = m.not(x)?;
-//! let ny = m.not(y)?;
+//! let g = m.not(f); // negation is an O(1) complement-edge flip
+//! let nx = m.not(x);
+//! let ny = m.not(y);
 //! let de_morgan = m.or(nx, ny)?;
-//! assert_eq!(g, de_morgan); // canonicity: equal functions, equal nodes
+//! assert_eq!(g, de_morgan); // canonicity: equal functions, equal refs
 //! assert_ne!(f, BddRef::FALSE);
 //! # Ok(())
 //! # }
@@ -38,5 +41,5 @@
 pub mod error;
 pub mod manager;
 
-pub use error::{BddError, Result};
-pub use manager::{BddManager, BddRef};
+pub use error::{BddError, ResourceKind, Result};
+pub use manager::{BddManager, BddRef, BddStats};

@@ -1,5 +1,6 @@
-//! The ROBDD manager: hash-consed nodes, ITE with memoisation,
-//! quantification, renaming and model counting.
+//! The production ROBDD engine: complement edges, ref-counted garbage
+//! collection, a unified size-bounded operation cache and Rudell sifting
+//! dynamic variable reordering.
 //!
 //! This is the data structure underlying every post-synthesis verification
 //! baseline the paper compares against: the SMV-style symbolic model
@@ -7,82 +8,336 @@
 //! represent sets of states and transition functions as BDDs. The paper's
 //! complexity argument — "both the number of traversal steps and the size
 //! of the BDD grow exponentially with the number of state variables" — is
-//! reproduced by measuring exactly these structures.
+//! reproduced by measuring exactly these structures, so the engine mirrors
+//! classic production BDD packages (Brace/Rudell/Bryant unique table + ITE
+//! cache, CUDD-style attributed edges and sifting):
+//!
+//! * **Complement edges.** A [`BddRef`] is a node index with a complement
+//!   bit in its lowest bit; there is a single terminal node and negation is
+//!   an O(1) bit flip ([`BddManager::not`] is infallible). Canonicity is
+//!   kept by the invariant that the *high* (then) edge of a node is never
+//!   complemented.
+//! * **Garbage collection.** Nodes carry reference counts (parents plus
+//!   external [`BddManager::protect`] roots plus pinned variable nodes);
+//!   [`BddManager::collect_garbage`] sweeps the dead cascade and reclaims
+//!   slots. When an operation would exceed the live-node budget, the
+//!   manager collects and retries once before reporting
+//!   [`BddError::ResourceLimit`], so the budget counts *live* nodes, not
+//!   every allocation ever made.
+//! * **Unified operation cache.** One direct-mapped, size-bounded cache
+//!   serves `ite`, `exists`, `and_exists`, `compose`, `rename` and
+//!   `restrict`; collisions evict (no unbounded per-op `HashMap`s).
+//! * **Reordering.** Rudell sifting ([`BddManager::reorder`]) swaps
+//!   adjacent levels in place — external references stay valid — and an
+//!   optional growth trigger ([`BddManager::with_dynamic_reordering`])
+//!   runs it automatically; [`BddManager::set_order`] installs an explicit
+//!   order.
+//! * **Depth-bounded recursion.** Every recursive operation carries a
+//!   depth budget and fails with [`BddError::ResourceLimit`] instead of
+//!   overflowing the native stack.
+//!
+//! The pre-rewrite textbook implementation survives as
+//! [`reference`](crate::manager::reference) for differential testing
+//! (`tests/manager_properties.rs`), mirroring `hash_logic::term::reference`.
 
-use crate::error::{BddError, Result};
+pub mod reference;
+
+use crate::error::{BddError, ResourceKind, Result};
 use std::collections::HashMap;
 
-/// A reference to a BDD node within a [`BddManager`].
+/// A reference to a BDD node within a [`BddManager`], with an attributed
+/// complement edge in the lowest bit.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct BddRef(u32);
 
 impl BddRef {
-    /// The constant FALSE.
-    pub const FALSE: BddRef = BddRef(0);
-    /// The constant TRUE.
-    pub const TRUE: BddRef = BddRef(1);
+    /// The constant TRUE: the terminal node, uncomplemented.
+    pub const TRUE: BddRef = BddRef(0);
+    /// The constant FALSE: the complement edge to the terminal node.
+    pub const FALSE: BddRef = BddRef(1);
 
-    /// The raw index (used only for statistics).
-    pub fn index(&self) -> usize {
-        self.0 as usize
+    fn new(idx: u32, complemented: bool) -> BddRef {
+        BddRef(idx << 1 | complemented as u32)
     }
 
-    /// Whether this is one of the two terminal nodes.
+    fn idx(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// The raw node index (used only for statistics; the complement bit is
+    /// stripped).
+    pub fn index(&self) -> usize {
+        self.idx()
+    }
+
+    /// Whether this edge carries the complement attribute.
+    pub fn is_complemented(&self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement edge to the same node: `¬f` in O(1).
+    pub fn complement(self) -> BddRef {
+        BddRef(self.0 ^ 1)
+    }
+
+    /// Whether this is one of the two constant functions.
     pub fn is_terminal(&self) -> bool {
         self.0 <= 1
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// Variable tag of the single terminal node.
+const TERMINAL_VAR: u32 = u32::MAX;
+/// Variable tag of a freed slot awaiting reuse.
+const FREE_VAR: u32 = u32::MAX - 1;
+/// Default number of slots in the unified operation cache.
+const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+/// Minimum garbage (allocations since the last collection) before an
+/// automatic collection is worthwhile.
+const MIN_GC_THRESHOLD: usize = 8_192;
+/// Initial live-node count that arms the automatic-reordering trigger.
+const INITIAL_REORDER_THRESHOLD: usize = 4_096;
+/// Automatic reorders stop after this many runs (explicit calls still work).
+const MAX_AUTO_REORDERS: usize = 64;
+
+#[derive(Clone, Copy, Debug)]
 struct Node {
     var: u32,
     low: BddRef,
     high: BddRef,
+    rc: u32,
 }
 
-const TERMINAL_VAR: u32 = u32::MAX;
+/// Keys of the unified operation cache. All refs are stored raw (index plus
+/// complement bit), so complemented operands hash and compare correctly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CacheKey {
+    Ite(u32, u32, u32),
+    AndExists(u32, u32, u32),
+    Exists(u32, u32),
+    Compose(u32, u32, u32),
+    Rename(u32, u32),
+    Restrict(u32, u32, u32),
+}
 
-/// A reduced ordered BDD manager with a fixed variable order
-/// (variable `0` is the topmost).
+impl CacheKey {
+    fn hash(&self) -> usize {
+        let (tag, a, b, c) = match *self {
+            CacheKey::Ite(a, b, c) => (0x9E37u64, a, b, c),
+            CacheKey::AndExists(a, b, c) => (0x85EBu64, a, b, c),
+            CacheKey::Exists(a, b) => (0xC2B2u64, a, b, 0),
+            CacheKey::Compose(a, b, c) => (0x27D4u64, a, b, c),
+            CacheKey::Rename(a, b) => (0x1656u64, a, b, 0),
+            CacheKey::Restrict(a, b, c) => (0x6C62u64, a, b, c),
+        };
+        let mut h = tag
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(a));
+        h = h
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(u64::from(b));
+        h = h
+            .wrapping_mul(0x94D0_49BB_1331_11EB)
+            .wrapping_add(u64::from(c));
+        (h ^ (h >> 29)) as usize
+    }
+}
+
+/// The unified, size-bounded, direct-mapped operation cache. A colliding
+/// insertion evicts the previous entry, so memory is bounded by the
+/// configured capacity regardless of workload.
+#[derive(Clone, Debug)]
+struct OpCache {
+    slots: Vec<Option<(CacheKey, u32)>>,
+    mask: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl OpCache {
+    fn new(capacity: usize) -> OpCache {
+        let cap = capacity.next_power_of_two().max(16);
+        OpCache {
+            slots: vec![None; cap],
+            mask: cap - 1,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn lookup(&mut self, key: CacheKey) -> Option<BddRef> {
+        match self.slots[key.hash() & self.mask] {
+            Some((k, r)) if k == key => {
+                self.hits += 1;
+                Some(BddRef(r))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, result: BddRef) {
+        let slot = &mut self.slots[key.hash() & self.mask];
+        if matches!(slot, Some((k, _)) if *k != key) {
+            self.evictions += 1;
+        }
+        *slot = Some((key, result.0));
+    }
+
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+/// Counters exposed by [`BddManager::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Currently live nodes (see [`BddManager::node_count`]).
+    pub live_nodes: usize,
+    /// High-water mark of the live-node count.
+    pub peak_live_nodes: usize,
+    /// Allocated node slots, live or awaiting reuse.
+    pub allocated_slots: usize,
+    /// Operation-cache hits since creation.
+    pub cache_hits: u64,
+    /// Operation-cache misses since creation.
+    pub cache_misses: u64,
+    /// Operation-cache entries evicted by collisions.
+    pub cache_evictions: u64,
+    /// Garbage collections run.
+    pub gc_runs: usize,
+    /// Total nodes reclaimed by garbage collection.
+    pub gc_freed: usize,
+    /// Sifting reorder passes run (automatic or explicit).
+    pub reorders: usize,
+}
+
+/// A reduced ordered BDD manager with complement edges, garbage collection
+/// and dynamic variable reordering.
 #[derive(Clone, Debug)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
-    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    /// Unique table: (var, low bits, high bits) → node index.
+    unique: HashMap<(u32, u32, u32), u32>,
+    cache: OpCache,
+    free_list: Vec<u32>,
+    /// External protection counts per node index (subset of `rc`).
+    ext_refs: HashMap<u32, u32>,
+    /// Pinned single-variable nodes, never collected.
+    var_nodes: Vec<Option<u32>>,
+    /// `order[level] = var`: the variable order, top level first.
+    order: Vec<u32>,
+    /// `level[var] = level`: inverse of `order`.
+    level: Vec<u32>,
+    /// Interned quantification sets (sorted, deduplicated).
+    var_sets: Vec<Vec<u32>>,
+    set_ids: HashMap<Vec<u32>, u32>,
+    /// Interned rename maps (sorted by source variable).
+    var_maps: Vec<Vec<(u32, u32)>>,
+    map_ids: HashMap<Vec<(u32, u32)>, u32>,
     num_vars: u32,
-    /// A soft limit on the number of nodes; exceeded means the verification
-    /// baseline "blows up", which the experiment harness reports as a
-    /// time/memory-out exactly like the dashes in the paper's tables.
+    /// Allocated, non-free, non-terminal slots.
+    active: usize,
+    /// Active nodes whose reference count is currently zero.
+    dead: usize,
+    peak_live: usize,
     node_limit: usize,
+    depth_limit: usize,
+    allocs_since_gc: usize,
+    auto_gc: bool,
+    auto_reorder: bool,
+    reorder_threshold: usize,
+    in_reorder: bool,
+    /// Whether an operation's recursion is in flight; garbage collection
+    /// must not run then (intermediate results are not yet referenced).
+    in_op: bool,
+    gc_runs: usize,
+    gc_freed: usize,
+    reorders: usize,
+    /// Growth-triggered passes only; explicit [`BddManager::reorder`]
+    /// calls do not consume the automatic budget.
+    auto_reorders: usize,
 }
 
 impl BddManager {
-    /// Creates a manager for the given number of variables.
+    /// Creates a manager for the given number of variables. Garbage
+    /// collection is enabled; dynamic reordering is off (see
+    /// [`BddManager::with_dynamic_reordering`]).
     pub fn new(num_vars: u32) -> BddManager {
         let mut nodes = Vec::with_capacity(1024);
         nodes.push(Node {
             var: TERMINAL_VAR,
-            low: BddRef::FALSE,
-            high: BddRef::FALSE,
-        });
-        nodes.push(Node {
-            var: TERMINAL_VAR,
             low: BddRef::TRUE,
             high: BddRef::TRUE,
+            rc: 1,
         });
         BddManager {
             nodes,
             unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            cache: OpCache::new(DEFAULT_CACHE_CAPACITY),
+            free_list: Vec::new(),
+            ext_refs: HashMap::new(),
+            var_nodes: vec![None; num_vars as usize],
+            order: (0..num_vars).collect(),
+            level: (0..num_vars).collect(),
+            var_sets: Vec::new(),
+            set_ids: HashMap::new(),
+            var_maps: Vec::new(),
+            map_ids: HashMap::new(),
             num_vars,
+            active: 0,
+            dead: 0,
+            peak_live: 1,
             node_limit: usize::MAX,
+            depth_limit: (4 * num_vars as usize + 64).min(8_192),
+            allocs_since_gc: 0,
+            auto_gc: true,
+            auto_reorder: false,
+            reorder_threshold: INITIAL_REORDER_THRESHOLD,
+            in_reorder: false,
+            in_op: false,
+            gc_runs: 0,
+            gc_freed: 0,
+            reorders: 0,
+            auto_reorders: 0,
         }
     }
 
-    /// Sets a soft node limit; operations that would exceed it fail with
-    /// [`BddError::NodeLimit`].
+    /// Sets the live-node budget; operations that would exceed it garbage
+    /// collect and retry once, then fail with [`BddError::ResourceLimit`].
     pub fn with_node_limit(mut self, limit: usize) -> BddManager {
         self.node_limit = limit;
+        self
+    }
+
+    /// Bounds the unified operation cache (rounded up to a power of two,
+    /// minimum 16 slots — tiny capacities are allowed so tests can force
+    /// eviction-heavy behaviour).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> BddManager {
+        self.cache = OpCache::new(capacity);
+        self
+    }
+
+    /// Sets the recursion-depth budget (default `4 · num_vars + 64`,
+    /// capped at 8192 so pathological managers cannot smash the stack).
+    pub fn with_depth_limit(mut self, limit: usize) -> BddManager {
+        self.depth_limit = limit;
+        self
+    }
+
+    /// Enables or disables Rudell-sifting reordering triggered on growth.
+    pub fn with_dynamic_reordering(mut self, enabled: bool) -> BddManager {
+        self.auto_reorder = enabled;
+        self
+    }
+
+    /// Enables or disables automatic garbage collection (on by default).
+    pub fn with_auto_gc(mut self, enabled: bool) -> BddManager {
+        self.auto_gc = enabled;
         self
     }
 
@@ -91,17 +346,240 @@ impl BddManager {
         self.num_vars
     }
 
-    /// The total number of allocated nodes (including the two terminals).
+    /// The number of *live* nodes (reachable from protected roots or linked
+    /// as someone's child), including the terminal. Dead-but-uncollected
+    /// roots are excluded; collected slots are excluded.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.active - self.dead + 1
+    }
+
+    /// High-water mark of [`BddManager::node_count`].
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Engine counters (cache effectiveness, GC and reordering activity).
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            live_nodes: self.node_count(),
+            peak_live_nodes: self.peak_live,
+            allocated_slots: self.nodes.len() - 1,
+            cache_hits: self.cache.hits,
+            cache_misses: self.cache.misses,
+            cache_evictions: self.cache.evictions,
+            gc_runs: self.gc_runs,
+            gc_freed: self.gc_freed,
+            reorders: self.reorders,
+        }
+    }
+
+    /// The current variable order, topmost level first.
+    pub fn order(&self) -> Vec<u32> {
+        self.order.clone()
     }
 
     /// Adds `extra` fresh variables at the bottom of the order and returns
     /// the index of the first new variable.
     pub fn add_vars(&mut self, extra: u32) -> u32 {
         let first = self.num_vars;
+        for v in first..first + extra {
+            self.order.push(v);
+            self.level.push(self.order.len() as u32 - 1);
+            self.var_nodes.push(None);
+        }
         self.num_vars += extra;
+        self.depth_limit = self
+            .depth_limit
+            .max((4 * self.num_vars as usize + 64).min(8_192));
         first
+    }
+
+    // ------------------------------------------------------------------
+    // External references and garbage collection
+    // ------------------------------------------------------------------
+
+    /// Registers an external reference: the node (and everything it
+    /// reaches) survives garbage collection until a matching
+    /// [`BddManager::unprotect`]. Terminals need no protection.
+    pub fn protect(&mut self, f: BddRef) {
+        let i = f.idx();
+        if i == 0 {
+            return;
+        }
+        assert!(
+            self.nodes[i].var != FREE_VAR,
+            "protect() on a collected node"
+        );
+        *self.ext_refs.entry(i as u32).or_insert(0) += 1;
+        self.inc_rc(f);
+    }
+
+    /// Releases an external reference taken with [`BddManager::protect`].
+    pub fn unprotect(&mut self, f: BddRef) {
+        let i = f.idx();
+        if i == 0 {
+            return;
+        }
+        match self.ext_refs.get_mut(&(i as u32)) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.ext_refs.remove(&(i as u32));
+            }
+            None => {
+                debug_assert!(false, "unprotect() without matching protect()");
+                return;
+            }
+        }
+        self.dec_rc(f);
+    }
+
+    /// Replaces the value in `slot` with `new`, transferring the external
+    /// reference: `new` is protected, the old value released. The common
+    /// idiom for loop state (`reached`, `frontier`, …).
+    pub fn update_protected(&mut self, slot: &mut BddRef, new: BddRef) {
+        self.protect(new);
+        self.unprotect(*slot);
+        *slot = new;
+    }
+
+    fn inc_rc(&mut self, f: BddRef) {
+        let i = f.idx();
+        if i == 0 {
+            return;
+        }
+        let n = &mut self.nodes[i];
+        if n.rc == 0 {
+            self.dead -= 1;
+        }
+        n.rc += 1;
+    }
+
+    fn dec_rc(&mut self, f: BddRef) {
+        let i = f.idx();
+        if i == 0 {
+            return;
+        }
+        let n = &mut self.nodes[i];
+        debug_assert!(n.rc > 0, "reference count underflow");
+        n.rc -= 1;
+        if n.rc == 0 {
+            self.dead += 1;
+        }
+    }
+
+    /// Sweeps every node unreachable from the protected roots (and pinned
+    /// variable nodes), reclaiming slots and clearing the operation cache.
+    /// Returns the number of nodes freed.
+    pub fn collect_garbage(&mut self) -> usize {
+        self.allocs_since_gc = 0;
+        if self.dead == 0 {
+            return 0;
+        }
+        let mut queue: Vec<u32> = (1..self.nodes.len() as u32)
+            .filter(|&i| {
+                let n = &self.nodes[i as usize];
+                n.var != FREE_VAR && n.rc == 0
+            })
+            .collect();
+        let mut freed = 0usize;
+        while let Some(i) = queue.pop() {
+            let n = self.nodes[i as usize];
+            debug_assert!(n.var != FREE_VAR && n.rc == 0);
+            self.unique.remove(&(n.var, n.low.0, n.high.0));
+            for child in [n.low, n.high] {
+                let ci = child.idx();
+                if ci == 0 {
+                    continue;
+                }
+                let c = &mut self.nodes[ci];
+                debug_assert!(c.rc > 0);
+                c.rc -= 1;
+                if c.rc == 0 {
+                    queue.push(ci as u32);
+                }
+            }
+            self.nodes[i as usize] = Node {
+                var: FREE_VAR,
+                low: BddRef::TRUE,
+                high: BddRef::TRUE,
+                rc: 0,
+            };
+            self.free_list.push(i);
+            freed += 1;
+        }
+        self.active -= freed;
+        self.dead = 0;
+        self.cache.clear();
+        self.gc_runs += 1;
+        self.gc_freed += freed;
+        freed
+    }
+
+    // ------------------------------------------------------------------
+    // Node construction
+    // ------------------------------------------------------------------
+
+    fn alloc_node(&mut self, var: u32, low: BddRef, high: BddRef) -> Result<BddRef> {
+        if !self.in_reorder && self.active - self.dead >= self.node_limit {
+            return Err(BddError::node_limit(self.node_limit));
+        }
+        let idx = match self.free_list.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node {
+                    var,
+                    low,
+                    high,
+                    rc: 0,
+                };
+                i
+            }
+            None => {
+                assert!(
+                    self.nodes.len() < (u32::MAX >> 1) as usize,
+                    "BDD node index space exhausted"
+                );
+                self.nodes.push(Node {
+                    var,
+                    low,
+                    high,
+                    rc: 0,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.active += 1;
+        self.dead += 1; // rc == 0 until a parent or protection links it
+        self.allocs_since_gc += 1;
+        self.inc_rc(low);
+        self.inc_rc(high);
+        self.unique.insert((var, low.0, high.0), idx);
+        let live = self.active - self.dead + 1;
+        if live > self.peak_live {
+            self.peak_live = live;
+        }
+        Ok(BddRef::new(idx, false))
+    }
+
+    /// Canonical node constructor: collapses redundant tests and keeps the
+    /// no-complemented-high-edge invariant by pushing the attribute to the
+    /// result edge.
+    fn mk_node(&mut self, var: u32, low: BddRef, high: BddRef) -> Result<BddRef> {
+        if low == high {
+            return Ok(low);
+        }
+        if high.is_complemented() {
+            let r = self.mk_node_regular(var, low.complement(), high.complement())?;
+            return Ok(r.complement());
+        }
+        self.mk_node_regular(var, low, high)
+    }
+
+    fn mk_node_regular(&mut self, var: u32, low: BddRef, high: BddRef) -> Result<BddRef> {
+        debug_assert!(!high.is_complemented());
+        if let Some(&i) = self.unique.get(&(var, low.0, high.0)) {
+            return Ok(BddRef::new(i, false));
+        }
+        self.alloc_node(var, low, high)
     }
 
     /// The BDD for a constant.
@@ -113,7 +591,9 @@ impl BddManager {
         }
     }
 
-    /// The BDD for a single variable.
+    /// The BDD for a single variable. Variable nodes are pinned: they are
+    /// never garbage collected, so refs to them stay valid for the life of
+    /// the manager.
     ///
     /// # Errors
     ///
@@ -122,7 +602,30 @@ impl BddManager {
         if var >= self.num_vars {
             return Err(BddError::UnknownVariable { var });
         }
-        self.mk_node(var, BddRef::FALSE, BddRef::TRUE)
+        self.var_node(var)
+    }
+
+    fn var_node(&mut self, var: u32) -> Result<BddRef> {
+        if let Some(i) = self.var_nodes[var as usize] {
+            return Ok(BddRef::new(i, false));
+        }
+        let r = match self.mk_node(var, BddRef::FALSE, BddRef::TRUE) {
+            Err(BddError::ResourceLimit {
+                resource: ResourceKind::Nodes,
+                ..
+            }) if self.auto_gc && !self.in_op && !self.in_reorder => {
+                // Creating a variable node at the budget: collect and retry
+                // (safe here — no operation recursion is in flight).
+                if self.collect_garbage() == 0 {
+                    return Err(BddError::node_limit(self.node_limit));
+                }
+                self.mk_node(var, BddRef::FALSE, BddRef::TRUE)?
+            }
+            other => other?,
+        };
+        self.inc_rc(r); // pin
+        self.var_nodes[var as usize] = Some(r.idx() as u32);
+        Ok(r)
     }
 
     /// The BDD for the negation of a single variable.
@@ -131,59 +634,163 @@ impl BddManager {
     ///
     /// Fails if the variable index is out of range.
     pub fn nvar(&mut self, var: u32) -> Result<BddRef> {
-        if var >= self.num_vars {
-            return Err(BddError::UnknownVariable { var });
-        }
-        self.mk_node(var, BddRef::TRUE, BddRef::FALSE)
+        Ok(self.var(var)?.complement())
     }
 
-    fn var_of(&self, f: BddRef) -> u32 {
-        self.nodes[f.index()].var
+    // ------------------------------------------------------------------
+    // Structure access
+    // ------------------------------------------------------------------
+
+    fn level_of(&self, f: BddRef) -> u32 {
+        let i = f.idx();
+        if i == 0 {
+            u32::MAX
+        } else {
+            self.level[self.nodes[i].var as usize]
+        }
     }
 
-    fn node(&self, f: BddRef) -> Node {
-        self.nodes[f.index()]
+    fn top_var(&self, f: BddRef) -> Option<u32> {
+        let i = f.idx();
+        if i == 0 {
+            None
+        } else {
+            Some(self.nodes[i].var)
+        }
     }
 
-    fn mk_node(&mut self, var: u32, low: BddRef, high: BddRef) -> Result<BddRef> {
-        if low == high {
-            return Ok(low);
+    /// The (else, then) cofactors of `f` with respect to `var`, resolving
+    /// the complement attribute on the incoming edge.
+    fn cofactor(&self, f: BddRef, var: u32) -> (BddRef, BddRef) {
+        let i = f.idx();
+        if i == 0 {
+            return (f, f);
         }
-        if let Some(&existing) = self.unique.get(&(var, low, high)) {
-            return Ok(existing);
+        let n = &self.nodes[i];
+        if n.var != var {
+            return (f, f);
         }
-        if self.nodes.len() >= self.node_limit {
-            return Err(BddError::NodeLimit {
-                limit: self.node_limit,
+        if f.is_complemented() {
+            (n.low.complement(), n.high.complement())
+        } else {
+            (n.low, n.high)
+        }
+    }
+
+    fn check_depth(&self, depth: usize) -> Result<()> {
+        if depth > self.depth_limit {
+            return Err(BddError::ResourceLimit {
+                resource: ResourceKind::Depth,
+                limit: self.depth_limit,
             });
         }
-        let id = BddRef(self.nodes.len() as u32);
-        self.nodes.push(Node { var, low, high });
-        self.unique.insert((var, low, high), id);
-        Ok(id)
+        Ok(())
     }
 
-    fn cofactors(&self, f: BddRef, var: u32) -> (BddRef, BddRef) {
-        let n = self.node(f);
-        if n.var == var {
-            (n.low, n.high)
-        } else {
-            (f, f)
+    // ------------------------------------------------------------------
+    // Operation driver: auto-GC / auto-reorder at safe points, collect and
+    // retry when the live-node budget trips mid-operation.
+    // ------------------------------------------------------------------
+
+    fn run_op<F>(&mut self, args: &[BddRef], mut op: F) -> Result<BddRef>
+    where
+        F: FnMut(&mut Self) -> Result<BddRef>,
+    {
+        self.prepare(args);
+        self.in_op = true;
+        let first = op(self);
+        self.in_op = false;
+        match first {
+            Err(BddError::ResourceLimit {
+                resource: ResourceKind::Nodes,
+                ..
+            }) if self.auto_gc && !self.in_reorder => {
+                for &a in args {
+                    self.protect(a);
+                }
+                let freed = self.collect_garbage();
+                let r = if freed == 0 {
+                    Err(BddError::node_limit(self.node_limit))
+                } else {
+                    self.in_op = true;
+                    let retry = op(self);
+                    self.in_op = false;
+                    retry
+                };
+                for &a in args {
+                    self.unprotect(a);
+                }
+                r
+            }
+            r => r,
         }
+    }
+
+    fn prepare(&mut self, args: &[BddRef]) {
+        if self.in_reorder {
+            return;
+        }
+        let live = self.active - self.dead;
+        let needs_gc = self.auto_gc && self.allocs_since_gc > live.max(MIN_GC_THRESHOLD);
+        let needs_reorder = self.auto_reorder
+            && live >= self.reorder_threshold
+            && self.auto_reorders < MAX_AUTO_REORDERS;
+        if !needs_gc && !needs_reorder {
+            return;
+        }
+        for &a in args {
+            self.protect(a);
+        }
+        if needs_reorder {
+            self.auto_reorders += 1;
+            self.reorder();
+        } else {
+            self.collect_garbage();
+        }
+        for &a in args {
+            self.unprotect(a);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Boolean operations
+    // ------------------------------------------------------------------
+
+    /// Negation: an O(1) complement-edge flip. Infallible.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        f.complement()
     }
 
     /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit (live nodes or recursion depth).
     pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> Result<BddRef> {
-        // Terminal cases.
+        self.run_op(&[f, g, h], |m| m.ite_rec(f, g, h, 0))
+    }
+
+    fn ite_rec(&mut self, f: BddRef, g: BddRef, h: BddRef, depth: usize) -> Result<BddRef> {
+        self.check_depth(depth)?;
+        // Terminal first-argument cases.
         if f == BddRef::TRUE {
             return Ok(g);
         }
         if f == BddRef::FALSE {
             return Ok(h);
+        }
+        // Collapse branches that repeat the test.
+        let mut g = g;
+        let mut h = h;
+        if g == f {
+            g = BddRef::TRUE;
+        } else if g == f.complement() {
+            g = BddRef::FALSE;
+        }
+        if h == f {
+            h = BddRef::FALSE;
+        } else if h == f.complement() {
+            h = BddRef::TRUE;
         }
         if g == h {
             return Ok(g);
@@ -191,208 +798,314 @@ impl BddManager {
         if g == BddRef::TRUE && h == BddRef::FALSE {
             return Ok(f);
         }
-        if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
-            return Ok(cached);
+        if g == BddRef::FALSE && h == BddRef::TRUE {
+            return Ok(f.complement());
         }
-        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
-        let (f0, f1) = self.cofactors(f, top);
-        let (g0, g1) = self.cofactors(g, top);
-        let (h0, h1) = self.cofactors(h, top);
-        let t = self.ite(f1, g1, h1)?;
-        let e = self.ite(f0, g0, h0)?;
-        let result = self.mk_node(top, e, t)?;
-        self.ite_cache.insert((f, g, h), result);
-        Ok(result)
-    }
-
-    /// Negation.
-    ///
-    /// # Errors
-    ///
-    /// Fails only if the node limit is exceeded.
-    pub fn not(&mut self, f: BddRef) -> Result<BddRef> {
-        self.ite(f, BddRef::FALSE, BddRef::TRUE)
+        // Commutative normalisations improve cache hit rates:
+        // and(f, g), or(f, h) and xor-shaped calls order their operands.
+        let mut f = f;
+        if h == BddRef::FALSE && f.0 > g.0 {
+            std::mem::swap(&mut f, &mut g);
+        } else if g == BddRef::TRUE && f.0 > h.0 {
+            std::mem::swap(&mut f, &mut h);
+        } else if h == g.complement() && f.0 > g.0 {
+            // ite(f, g, ¬g) = f ≡ g is commutative: test the smaller ref.
+            std::mem::swap(&mut f, &mut g);
+            h = g.complement();
+        }
+        // First argument regular.
+        if f.is_complemented() {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
+        }
+        // Then-branch regular; complement the result instead.
+        let mut negate = false;
+        if g.is_complemented() {
+            negate = true;
+            g = g.complement();
+            h = h.complement();
+        }
+        let key = CacheKey::Ite(f.0, g.0, h.0);
+        if let Some(r) = self.cache.lookup(key) {
+            return Ok(if negate { r.complement() } else { r });
+        }
+        let top_level = self.level_of(f).min(self.level_of(g)).min(self.level_of(h));
+        let v = self.order[top_level as usize];
+        let (f0, f1) = self.cofactor(f, v);
+        let (g0, g1) = self.cofactor(g, v);
+        let (h0, h1) = self.cofactor(h, v);
+        let t = self.ite_rec(f1, g1, h1, depth + 1)?;
+        let e = self.ite_rec(f0, g0, h0, depth + 1)?;
+        let r = if t == e { t } else { self.mk_node(v, e, t)? };
+        self.cache.insert(key, r);
+        Ok(if negate { r.complement() } else { r })
     }
 
     /// Conjunction.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
-        self.ite(f, g, BddRef::FALSE)
+        self.run_op(&[f, g], |m| m.ite_rec(f, g, BddRef::FALSE, 0))
     }
 
     /// Disjunction.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
-        self.ite(f, BddRef::TRUE, g)
+        self.run_op(&[f, g], |m| m.ite_rec(f, BddRef::TRUE, g, 0))
     }
 
     /// Exclusive or.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
-        let ng = self.not(g)?;
-        self.ite(f, ng, g)
+        self.run_op(&[f, g], |m| m.ite_rec(f, g.complement(), g, 0))
     }
 
     /// Equivalence (XNOR).
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn xnor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
-        let ng = self.not(g)?;
-        self.ite(f, g, ng)
+        self.run_op(&[f, g], |m| m.ite_rec(f, g, g.complement(), 0))
     }
 
     /// Implication.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn implies(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
-        self.ite(f, g, BddRef::TRUE)
+        self.run_op(&[f, g], |m| m.ite_rec(f, g, BddRef::TRUE, 0))
     }
 
     /// Conjunction of a list of functions.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn and_all(&mut self, fs: &[BddRef]) -> Result<BddRef> {
-        let mut acc = BddRef::TRUE;
+        // Operands still pending are protected for the duration: an earlier
+        // conjunction may trigger a collection, and the caller only had to
+        // keep the refs valid at the call.
         for &f in fs {
-            acc = self.and(acc, f)?;
+            self.protect(f);
         }
-        Ok(acc)
+        let mut acc = BddRef::TRUE;
+        let mut result = Ok(());
+        for &f in fs {
+            match self.and(acc, f) {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        for &f in fs {
+            self.unprotect(f);
+        }
+        result.map(|()| acc)
+    }
+
+    // ------------------------------------------------------------------
+    // Quantification, composition, renaming, restriction
+    // ------------------------------------------------------------------
+
+    fn intern_set(&mut self, vars: &[u32]) -> u32 {
+        let mut set: Vec<u32> = vars
+            .iter()
+            .copied()
+            .filter(|&v| v < self.num_vars)
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        if let Some(&id) = self.set_ids.get(&set) {
+            return id;
+        }
+        let id = self.var_sets.len() as u32;
+        self.var_sets.push(set.clone());
+        self.set_ids.insert(set, id);
+        id
+    }
+
+    fn set_contains(&self, set_id: u32, var: u32) -> bool {
+        self.var_sets[set_id as usize].binary_search(&var).is_ok()
+    }
+
+    /// The deepest level any variable of the set currently occupies;
+    /// recursion below it can stop quantifying.
+    fn set_deepest(&self, set_id: u32) -> u32 {
+        self.var_sets[set_id as usize]
+            .iter()
+            .map(|&v| self.level[v as usize])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Existential quantification over a set of variables.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn exists(&mut self, f: BddRef, vars: &[u32]) -> Result<BddRef> {
-        let mut cache = HashMap::new();
-        self.exists_rec(f, vars, &mut cache)
-    }
-
-    fn exists_rec(
-        &mut self,
-        f: BddRef,
-        vars: &[u32],
-        cache: &mut HashMap<BddRef, BddRef>,
-    ) -> Result<BddRef> {
-        if f.is_terminal() {
+        let set = self.intern_set(vars);
+        if self.var_sets[set as usize].is_empty() {
             return Ok(f);
         }
-        if let Some(&c) = cache.get(&f) {
-            return Ok(c);
+        self.run_op(&[f], |m| {
+            let deepest = m.set_deepest(set);
+            m.exists_rec(f, set, deepest, 0)
+        })
+    }
+
+    fn exists_rec(&mut self, f: BddRef, set: u32, deepest: u32, depth: usize) -> Result<BddRef> {
+        self.check_depth(depth)?;
+        if f.is_terminal() || self.level_of(f) > deepest {
+            return Ok(f);
         }
-        let n = self.node(f);
-        let low = self.exists_rec(n.low, vars, cache)?;
-        let high = self.exists_rec(n.high, vars, cache)?;
-        let result = if vars.contains(&n.var) {
-            self.or(low, high)?
+        let key = CacheKey::Exists(f.0, set);
+        if let Some(r) = self.cache.lookup(key) {
+            return Ok(r);
+        }
+        let v = self.top_var(f).expect("non-terminal");
+        let (f0, f1) = self.cofactor(f, v);
+        let quantified = self.set_contains(set, v);
+        let low = self.exists_rec(f0, set, deepest, depth + 1)?;
+        let r = if quantified && low == BddRef::TRUE {
+            BddRef::TRUE
         } else {
-            self.mk_node(n.var, low, high)?
+            let high = self.exists_rec(f1, set, deepest, depth + 1)?;
+            if quantified {
+                self.ite_rec(low, BddRef::TRUE, high, depth + 1)?
+            } else if low == high {
+                low
+            } else {
+                self.mk_node(v, low, high)?
+            }
         };
-        cache.insert(f, result);
-        Ok(result)
+        self.cache.insert(key, r);
+        Ok(r)
     }
 
     /// Universal quantification over a set of variables.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn forall(&mut self, f: BddRef, vars: &[u32]) -> Result<BddRef> {
-        let nf = self.not(f)?;
-        let ex = self.exists(nf, vars)?;
-        self.not(ex)
+        Ok(self.exists(f.complement(), vars)?.complement())
     }
 
-    /// Relational product: `∃ vars. f ∧ g`.
+    /// Relational product `∃ vars. f ∧ g`, computed in one fused pass: the
+    /// conjunction is never materialised, which is what keeps image
+    /// computations on product machines from blowing up on the
+    /// intermediate.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails only on a resource limit.
     pub fn and_exists(&mut self, f: BddRef, g: BddRef, vars: &[u32]) -> Result<BddRef> {
-        let conj = self.and(f, g)?;
-        self.exists(conj, vars)
+        let set = self.intern_set(vars);
+        self.run_op(&[f, g], |m| {
+            let deepest = m.set_deepest(set);
+            m.and_exists_rec(f, g, set, deepest, 0)
+        })
     }
 
-    /// Renames variables according to `map` (old → new). The mapping must be
-    /// monotone with respect to the variable order, so that the result is
-    /// still ordered.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the mapping is not monotone or a variable is out of range.
-    pub fn rename(&mut self, f: BddRef, map: &[(u32, u32)]) -> Result<BddRef> {
-        // Check monotonicity.
-        let mut sorted = map.to_vec();
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
-            if w[0].1 >= w[1].1 {
-                return Err(BddError::NonMonotoneRename);
-            }
-        }
-        for &(a, b) in map {
-            if a >= self.num_vars || b >= self.num_vars {
-                return Err(BddError::UnknownVariable { var: a.max(b) });
-            }
-        }
-        let mut cache = HashMap::new();
-        self.rename_rec(f, map, &mut cache)
-    }
-
-    fn rename_rec(
+    fn and_exists_rec(
         &mut self,
         f: BddRef,
-        map: &[(u32, u32)],
-        cache: &mut HashMap<BddRef, BddRef>,
+        g: BddRef,
+        set: u32,
+        deepest: u32,
+        depth: usize,
     ) -> Result<BddRef> {
-        if f.is_terminal() {
-            return Ok(f);
+        self.check_depth(depth)?;
+        if f == BddRef::FALSE || g == BddRef::FALSE || f == g.complement() {
+            return Ok(BddRef::FALSE);
         }
-        if let Some(&c) = cache.get(&f) {
-            return Ok(c);
+        if f == BddRef::TRUE || f == g {
+            return self.exists_rec(g, set, deepest, depth + 1);
         }
-        let n = self.node(f);
-        let low = self.rename_rec(n.low, map, cache)?;
-        let high = self.rename_rec(n.high, map, cache)?;
-        let new_var = map
-            .iter()
-            .find(|(a, _)| *a == n.var)
-            .map(|(_, b)| *b)
-            .unwrap_or(n.var);
-        let result = self.mk_node(new_var, low, high)?;
-        cache.insert(f, result);
-        Ok(result)
+        if g == BddRef::TRUE {
+            return self.exists_rec(f, set, deepest, depth + 1);
+        }
+        // Below the deepest quantified level this is a plain conjunction.
+        if self.level_of(f) > deepest && self.level_of(g) > deepest {
+            return self.ite_rec(f, g, BddRef::FALSE, depth + 1);
+        }
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let key = CacheKey::AndExists(f.0, g.0, set);
+        if let Some(r) = self.cache.lookup(key) {
+            return Ok(r);
+        }
+        let top_level = self.level_of(f).min(self.level_of(g));
+        let v = self.order[top_level as usize];
+        let (f0, f1) = self.cofactor(f, v);
+        let (g0, g1) = self.cofactor(g, v);
+        let r = if self.set_contains(set, v) {
+            let t = self.and_exists_rec(f1, g1, set, deepest, depth + 1)?;
+            if t == BddRef::TRUE {
+                BddRef::TRUE
+            } else {
+                let e = self.and_exists_rec(f0, g0, set, deepest, depth + 1)?;
+                self.ite_rec(t, BddRef::TRUE, e, depth + 1)?
+            }
+        } else {
+            let t = self.and_exists_rec(f1, g1, set, deepest, depth + 1)?;
+            let e = self.and_exists_rec(f0, g0, set, deepest, depth + 1)?;
+            if t == e {
+                t
+            } else {
+                self.mk_node(v, e, t)?
+            }
+        };
+        self.cache.insert(key, r);
+        Ok(r)
     }
 
     /// Functional composition: substitutes the function `g` for the
     /// variable `var` in `f` (Shannon expansion `ite(g, f|var=1, f|var=0)`).
     ///
-    /// Unlike [`BddManager::rename`], composition does not require any
-    /// monotonicity; it is used by the van Eijk register-correspondence
-    /// reduction where merged registers may appear in any order.
-    ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails if `var` is out of range or on a resource limit.
     pub fn compose(&mut self, f: BddRef, var: u32, g: BddRef) -> Result<BddRef> {
-        let f1 = self.restrict(f, var, true)?;
-        let f0 = self.restrict(f, var, false)?;
-        self.ite(g, f1, f0)
+        if var >= self.num_vars {
+            return Err(BddError::UnknownVariable { var });
+        }
+        self.run_op(&[f, g], |m| m.compose_rec(f, var, g, 0))
+    }
+
+    fn compose_rec(&mut self, f: BddRef, var: u32, g: BddRef, depth: usize) -> Result<BddRef> {
+        self.check_depth(depth)?;
+        if self.level_of(f) > self.level[var as usize] {
+            return Ok(f); // var cannot occur in f
+        }
+        let key = CacheKey::Compose(f.0, var, g.0);
+        if let Some(r) = self.cache.lookup(key) {
+            return Ok(r);
+        }
+        let v = self.top_var(f).expect("non-terminal");
+        let (f0, f1) = self.cofactor(f, v);
+        let r = if v == var {
+            self.ite_rec(g, f1, f0, depth + 1)?
+        } else {
+            let t = self.compose_rec(f1, var, g, depth + 1)?;
+            let e = self.compose_rec(f0, var, g, depth + 1)?;
+            let vn = self.var_node(v)?;
+            self.ite_rec(vn, t, e, depth + 1)?
+        };
+        self.cache.insert(key, r);
+        Ok(r)
     }
 
     /// Substitutes several variables by functions, one after another. The
@@ -402,95 +1115,217 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
+    /// Fails if a variable is out of range or on a resource limit.
     pub fn compose_many(&mut self, f: BddRef, subs: &[(u32, BddRef)]) -> Result<BddRef> {
-        let mut acc = f;
-        for (var, g) in subs {
-            acc = self.compose(acc, *var, *g)?;
+        // Replacement functions used by later substitutions are protected
+        // while the earlier ones run (they are usually pinned variable
+        // nodes, but the API does not require that).
+        for &(_, g) in subs {
+            self.protect(g);
         }
-        Ok(acc)
+        let mut acc = f;
+        let mut result = Ok(());
+        for &(var, g) in subs {
+            match self.compose(acc, var, g) {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        for &(_, g) in subs {
+            self.unprotect(g);
+        }
+        result.map(|()| acc)
     }
 
-    /// Restricts a variable to a constant value.
+    fn intern_map(&mut self, map: &[(u32, u32)]) -> u32 {
+        let mut seen = std::collections::HashSet::new();
+        let mut m: Vec<(u32, u32)> = map
+            .iter()
+            .copied()
+            .filter(|(a, _)| seen.insert(*a))
+            .collect();
+        m.sort_unstable();
+        if let Some(&id) = self.map_ids.get(&m) {
+            return id;
+        }
+        let id = self.var_maps.len() as u32;
+        self.var_maps.push(m.clone());
+        self.map_ids.insert(m, id);
+        id
+    }
+
+    fn map_lookup(&self, map_id: u32, var: u32) -> u32 {
+        let m = &self.var_maps[map_id as usize];
+        match m.binary_search_by_key(&var, |&(a, _)| a) {
+            Ok(i) => m[i].1,
+            Err(_) => var,
+        }
+    }
+
+    /// Renames variables according to `map` (old → new), as a simultaneous
+    /// substitution. Unlike the textbook implementation, the mapping need
+    /// not be monotone in the variable order — dynamic reordering makes a
+    /// "monotone" map meaningless anyway — though monotone maps are
+    /// cheapest.
     ///
     /// # Errors
     ///
-    /// Fails only if the node limit is exceeded.
-    pub fn restrict(&mut self, f: BddRef, var: u32, value: bool) -> Result<BddRef> {
-        let lit = if value {
-            self.var(var)?
-        } else {
-            self.nvar(var)?
-        };
-        let conj = self.and(f, lit)?;
-        self.exists(conj, &[var])
+    /// Fails if a variable is out of range or on a resource limit.
+    pub fn rename(&mut self, f: BddRef, map: &[(u32, u32)]) -> Result<BddRef> {
+        for &(a, b) in map {
+            if a >= self.num_vars || b >= self.num_vars {
+                return Err(BddError::UnknownVariable { var: a.max(b) });
+            }
+        }
+        let map_id = self.intern_map(map);
+        if self.var_maps[map_id as usize].is_empty() {
+            return Ok(f);
+        }
+        self.run_op(&[f], |m| m.rename_rec(f, map_id, 0))
     }
+
+    fn rename_rec(&mut self, f: BddRef, map_id: u32, depth: usize) -> Result<BddRef> {
+        self.check_depth(depth)?;
+        if f.is_terminal() {
+            return Ok(f);
+        }
+        let key = CacheKey::Rename(f.0, map_id);
+        if let Some(r) = self.cache.lookup(key) {
+            return Ok(r);
+        }
+        let v = self.top_var(f).expect("non-terminal");
+        let (f0, f1) = self.cofactor(f, v);
+        let t = self.rename_rec(f1, map_id, depth + 1)?;
+        let e = self.rename_rec(f0, map_id, depth + 1)?;
+        let w = self.map_lookup(map_id, v);
+        let wn = self.var_node(w)?;
+        let r = self.ite_rec(wn, t, e, depth + 1)?;
+        self.cache.insert(key, r);
+        Ok(r)
+    }
+
+    /// Restricts a variable to a constant value (a single cofactor walk,
+    /// not a conjunction plus quantification).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `var` is out of range or on a resource limit.
+    pub fn restrict(&mut self, f: BddRef, var: u32, value: bool) -> Result<BddRef> {
+        if var >= self.num_vars {
+            return Err(BddError::UnknownVariable { var });
+        }
+        self.run_op(&[f], |m| m.restrict_rec(f, var, value, 0))
+    }
+
+    fn restrict_rec(&mut self, f: BddRef, var: u32, value: bool, depth: usize) -> Result<BddRef> {
+        self.check_depth(depth)?;
+        if self.level_of(f) > self.level[var as usize] {
+            return Ok(f);
+        }
+        let key = CacheKey::Restrict(f.0, var, value as u32);
+        if let Some(r) = self.cache.lookup(key) {
+            return Ok(r);
+        }
+        let v = self.top_var(f).expect("non-terminal");
+        let (f0, f1) = self.cofactor(f, v);
+        let r = if v == var {
+            if value {
+                f1
+            } else {
+                f0
+            }
+        } else {
+            let t = self.restrict_rec(f1, var, value, depth + 1)?;
+            let e = self.restrict_rec(f0, var, value, depth + 1)?;
+            if t == e {
+                t
+            } else {
+                self.mk_node(v, e, t)?
+            }
+        };
+        self.cache.insert(key, r);
+        Ok(r)
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis (read-only)
+    // ------------------------------------------------------------------
 
     /// Evaluates the function under a complete assignment
     /// (`assignment[i]` is the value of variable `i`).
     pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
         let mut cur = f;
-        while !cur.is_terminal() {
-            let n = self.node(cur);
+        let mut parity = false;
+        loop {
+            parity ^= cur.is_complemented();
+            let i = cur.idx();
+            if i == 0 {
+                return !parity;
+            }
+            let n = &self.nodes[i];
             let v = assignment.get(n.var as usize).copied().unwrap_or(false);
             cur = if v { n.high } else { n.low };
         }
-        cur == BddRef::TRUE
     }
 
     /// The number of satisfying assignments over all `num_vars` variables.
     pub fn sat_count(&self, f: BddRef) -> f64 {
-        let mut cache: HashMap<BddRef, f64> = HashMap::new();
-        // Fraction of the full space that satisfies f.
-        fn frac(m: &BddManager, f: BddRef, cache: &mut HashMap<BddRef, f64>) -> f64 {
-            if f == BddRef::TRUE {
-                return 1.0;
+        fn frac(m: &BddManager, f: BddRef, cache: &mut HashMap<u32, f64>) -> f64 {
+            let i = f.idx();
+            let regular = if i == 0 {
+                1.0
+            } else if let Some(&c) = cache.get(&(i as u32)) {
+                c
+            } else {
+                let n = m.nodes[i];
+                let r = 0.5 * frac(m, n.low, cache) + 0.5 * frac(m, n.high, cache);
+                cache.insert(i as u32, r);
+                r
+            };
+            if f.is_complemented() {
+                1.0 - regular
+            } else {
+                regular
             }
-            if f == BddRef::FALSE {
-                return 0.0;
-            }
-            if let Some(&c) = cache.get(&f) {
-                return c;
-            }
-            let n = m.node(f);
-            let r = 0.5 * frac(m, n.low, cache) + 0.5 * frac(m, n.high, cache);
-            cache.insert(f, r);
-            r
         }
+        let mut cache = HashMap::new();
         frac(self, f, &mut cache) * 2f64.powi(self.num_vars as i32)
     }
 
-    /// The support of a function: the variables it depends on.
+    /// The support of a function: the variables it depends on, ascending.
     pub fn support(&self, f: BddRef) -> Vec<u32> {
         let mut seen = std::collections::BTreeSet::new();
         let mut visited = std::collections::HashSet::new();
-        let mut stack = vec![f];
-        while let Some(g) = stack.pop() {
-            if g.is_terminal() || !visited.insert(g) {
+        let mut stack = vec![f.idx()];
+        while let Some(i) = stack.pop() {
+            if i == 0 || !visited.insert(i) {
                 continue;
             }
-            let n = self.node(g);
+            let n = &self.nodes[i];
             seen.insert(n.var);
-            stack.push(n.low);
-            stack.push(n.high);
+            stack.push(n.low.idx());
+            stack.push(n.high.idx());
         }
         seen.into_iter().collect()
     }
 
-    /// The number of distinct nodes reachable from `f` (a size measure for
-    /// the experiment reports).
+    /// The number of distinct nodes reachable from `f`, including the
+    /// terminal (a size measure for the experiment reports).
     pub fn size(&self, f: BddRef) -> usize {
         let mut visited = std::collections::HashSet::new();
-        let mut stack = vec![f];
-        while let Some(g) = stack.pop() {
-            if g.is_terminal() || !visited.insert(g) {
+        let mut stack = vec![f.idx()];
+        while let Some(i) = stack.pop() {
+            if i == 0 || !visited.insert(i) {
                 continue;
             }
-            let n = self.node(g);
-            stack.push(n.low);
-            stack.push(n.high);
+            let n = &self.nodes[i];
+            stack.push(n.low.idx());
+            stack.push(n.high.idx());
         }
-        visited.len() + 2
+        visited.len() + 1
     }
 
     /// Finds one satisfying assignment, if any (variables not in the
@@ -501,9 +1336,20 @@ impl BddManager {
         }
         let mut assignment = vec![false; self.num_vars as usize];
         let mut cur = f;
-        while !cur.is_terminal() {
-            let n = self.node(cur);
-            if n.high != BddRef::FALSE {
+        let mut parity = false;
+        loop {
+            parity ^= cur.is_complemented();
+            let i = cur.idx();
+            if i == 0 {
+                debug_assert!(!parity, "walk reached FALSE");
+                return Some(assignment);
+            }
+            let n = &self.nodes[i];
+            // The high edge is stored regular, so under the accumulated
+            // parity it denotes FALSE exactly when it is the terminal and
+            // the parity is odd.
+            let high_is_false = n.high.idx() == 0 && parity;
+            if !high_is_false {
                 assignment[n.var as usize] = true;
                 cur = n.high;
             } else {
@@ -511,13 +1357,349 @@ impl BddManager {
                 cur = n.low;
             }
         }
-        Some(assignment)
+    }
+
+    // ------------------------------------------------------------------
+    // Variable reordering (Rudell sifting)
+    // ------------------------------------------------------------------
+
+    /// Runs one pass of Rudell sifting: each variable (most-populated
+    /// levels first) is moved through the order by adjacent-level swaps and
+    /// left at its best position. In-place swaps preserve every external
+    /// [`BddRef`]'s meaning. Returns the number of live nodes saved.
+    pub fn reorder(&mut self) -> usize {
+        if self.num_vars < 2 || self.in_reorder {
+            return 0;
+        }
+        self.in_reorder = true;
+        self.collect_garbage();
+        let before = self.active - self.dead;
+        let mut levels = self.build_levels();
+        let mut by_size: Vec<(usize, u32)> = (0..self.num_vars)
+            .map(|v| (levels[self.level[v as usize] as usize].len(), v))
+            .collect();
+        by_size.sort_unstable_by(|a, b| b.cmp(a));
+        let mut budget = (before * 6).max(50_000);
+        for (population, var) in by_size {
+            if budget == 0 {
+                break;
+            }
+            if population == 0 {
+                continue;
+            }
+            self.sift_var(var, &mut levels, &mut budget);
+        }
+        self.collect_garbage();
+        self.in_reorder = false;
+        self.reorders += 1;
+        let after = self.active - self.dead;
+        // Re-arm the growth trigger well above the (hopefully smaller) new
+        // size so reordering amortises.
+        self.reorder_threshold = (after * 4).max(self.reorder_threshold);
+        before.saturating_sub(after)
+    }
+
+    /// Installs an explicit variable order (`new_order[0]` becomes the top
+    /// level), by adjacent swaps. Must be a permutation of all variables.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::UnknownVariable`] if `new_order` is not a
+    /// permutation of `0..num_vars`.
+    pub fn set_order(&mut self, new_order: &[u32]) -> Result<()> {
+        let mut seen = vec![false; self.num_vars as usize];
+        for &v in new_order {
+            if v >= self.num_vars || seen[v as usize] {
+                return Err(BddError::UnknownVariable { var: v });
+            }
+            seen[v as usize] = true;
+        }
+        if new_order.len() != self.num_vars as usize {
+            return Err(BddError::UnknownVariable { var: self.num_vars });
+        }
+        self.in_reorder = true;
+        self.collect_garbage();
+        let mut levels = self.build_levels();
+        for (target, &var) in new_order.iter().enumerate() {
+            let mut cur = self.level[var as usize] as usize;
+            while cur > target {
+                self.swap_levels(cur - 1, &mut levels);
+                cur -= 1;
+            }
+        }
+        self.collect_garbage();
+        self.in_reorder = false;
+        Ok(())
+    }
+
+    fn build_levels(&self) -> Vec<Vec<u32>> {
+        let mut levels = vec![Vec::new(); self.num_vars as usize];
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.var != FREE_VAR {
+                levels[self.level[n.var as usize] as usize].push(i as u32);
+            }
+        }
+        levels
+    }
+
+    /// Sifts one variable: explore towards the nearer end of the order
+    /// first, then the other end, then settle at the best position seen.
+    fn sift_var(&mut self, var: u32, levels: &mut [Vec<u32>], budget: &mut usize) {
+        let n_levels = self.num_vars as usize;
+        let start = self.level[var as usize] as usize;
+        let start_size = self.active - self.dead;
+        let grow_limit = start_size * 2 + 16;
+        let mut best_size = start_size;
+        let mut best_pos = start;
+        let mut cur = start;
+        let down_first = n_levels - 1 - start <= start;
+        for phase in 0..2 {
+            let downwards = down_first == (phase == 0);
+            loop {
+                let can_move = if downwards {
+                    cur + 1 < n_levels
+                } else {
+                    cur > 0
+                };
+                if !can_move || *budget == 0 {
+                    break;
+                }
+                let work = if downwards {
+                    let w = self.swap_levels(cur, levels);
+                    cur += 1;
+                    w
+                } else {
+                    let w = self.swap_levels(cur - 1, levels);
+                    cur -= 1;
+                    w
+                };
+                *budget = budget.saturating_sub(work);
+                let size = self.active - self.dead;
+                if size < best_size {
+                    best_size = size;
+                    best_pos = cur;
+                }
+                if size > grow_limit {
+                    break;
+                }
+            }
+        }
+        while cur < best_pos {
+            self.swap_levels(cur, levels);
+            cur += 1;
+        }
+        while cur > best_pos {
+            self.swap_levels(cur - 1, levels);
+            cur -= 1;
+        }
+    }
+
+    /// Swaps the variables at levels `l` and `l + 1` in place. Every node
+    /// at level `l` that depends on the lower variable is rewritten to test
+    /// the lower variable first; its index — and therefore every external
+    /// reference to it — keeps denoting the same function. Returns a work
+    /// estimate for the sifting budget.
+    fn swap_levels(&mut self, l: usize, levels: &mut [Vec<u32>]) -> usize {
+        let x = self.order[l];
+        let y = self.order[l + 1];
+        let old_x_list = std::mem::take(&mut levels[l]);
+        let mut stay_x: Vec<u32> = Vec::new();
+        let mut moved: Vec<u32> = Vec::new();
+        let mut work = old_x_list.len().max(1);
+        for ni in old_x_list {
+            let node = self.nodes[ni as usize];
+            debug_assert_eq!(node.var, x);
+            let t1 = node.high;
+            let e1 = node.low;
+            let t_dep = self.top_var(t1) == Some(y);
+            let e_dep = self.top_var(e1) == Some(y);
+            if !t_dep && !e_dep {
+                stay_x.push(ni);
+                continue;
+            }
+            // Cofactors of the children with respect to y. The high edge is
+            // regular by invariant, so its cofactors are the stored ones;
+            // the low edge may carry the complement attribute.
+            let (t11, t10) = if t_dep {
+                let c = self.nodes[t1.idx()];
+                (c.high, c.low)
+            } else {
+                (t1, t1)
+            };
+            let (e11, e10) = if e_dep {
+                let c = self.nodes[e1.idx()];
+                if e1.is_complemented() {
+                    (c.high.complement(), c.low.complement())
+                } else {
+                    (c.high, c.low)
+                }
+            } else {
+                (e1, e1)
+            };
+            self.unique.remove(&(x, e1.0, t1.0));
+            self.dec_rc(t1);
+            self.dec_rc(e1);
+            let (new_t, created_t) = self.mk_node_inplace(x, e11, t11);
+            if created_t {
+                stay_x.push(new_t.idx() as u32);
+                work += 1;
+            }
+            let (new_e, created_e) = self.mk_node_inplace(x, e10, t10);
+            if created_e {
+                stay_x.push(new_e.idx() as u32);
+                work += 1;
+            }
+            // The new then-child is built from cofactors of the old regular
+            // then-edge, so it comes out regular: the invariant holds
+            // without touching external references.
+            debug_assert!(!new_t.is_complemented());
+            self.inc_rc(new_t);
+            self.inc_rc(new_e);
+            let rc = self.nodes[ni as usize].rc;
+            self.nodes[ni as usize] = Node {
+                var: y,
+                low: new_e,
+                high: new_t,
+                rc,
+            };
+            self.unique.insert((y, new_e.0, new_t.0), ni);
+            moved.push(ni);
+            work += 2;
+        }
+        let mut new_upper = std::mem::take(&mut levels[l + 1]);
+        new_upper.extend(moved);
+        levels[l] = new_upper;
+        levels[l + 1] = stay_x;
+        self.order.swap(l, l + 1);
+        self.level[x as usize] = (l + 1) as u32;
+        self.level[y as usize] = l as u32;
+        work
+    }
+
+    /// `mk_node` for reordering: never fails (the node limit is suspended
+    /// during a reorder pass) and reports whether a fresh node was created.
+    fn mk_node_inplace(&mut self, var: u32, low: BddRef, high: BddRef) -> (BddRef, bool) {
+        if low == high {
+            return (low, false);
+        }
+        if high.is_complemented() {
+            let (r, created) =
+                self.mk_node_inplace_regular(var, low.complement(), high.complement());
+            return (r.complement(), created);
+        }
+        self.mk_node_inplace_regular(var, low, high)
+    }
+
+    fn mk_node_inplace_regular(&mut self, var: u32, low: BddRef, high: BddRef) -> (BddRef, bool) {
+        if let Some(&i) = self.unique.get(&(var, low.0, high.0)) {
+            return (BddRef::new(i, false), false);
+        }
+        debug_assert!(self.in_reorder);
+        let r = self.alloc_node(var, low, high).expect("limit suspended");
+        (r, true)
+    }
+
+    // ------------------------------------------------------------------
+    // Self-checks (used by the differential test suite)
+    // ------------------------------------------------------------------
+
+    /// Verifies the structural invariants of the whole manager: regular
+    /// high edges, strict level ordering along edges, unique-table
+    /// consistency and exact reference counts. Expensive; test use only.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let mut parent_counts: HashMap<usize, u32> = HashMap::new();
+        let mut active = 0usize;
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.var == FREE_VAR {
+                continue;
+            }
+            active += 1;
+            if n.high.is_complemented() {
+                return Err(format!("node {i} has a complemented high edge"));
+            }
+            if n.low == n.high {
+                return Err(format!("node {i} is a redundant test"));
+            }
+            let my_level = self.level[n.var as usize];
+            for child in [n.low, n.high] {
+                let ci = child.idx();
+                if ci != 0 {
+                    let c = &self.nodes[ci];
+                    if c.var == FREE_VAR {
+                        return Err(format!("node {i} points at freed slot {ci}"));
+                    }
+                    if self.level[c.var as usize] <= my_level {
+                        return Err(format!("node {i} violates the level order"));
+                    }
+                }
+                *parent_counts.entry(ci).or_insert(0) += 1;
+            }
+            match self.unique.get(&(n.var, n.low.0, n.high.0)) {
+                Some(&u) if u as usize == i => {}
+                _ => return Err(format!("node {i} missing from the unique table")),
+            }
+        }
+        if self.unique.len() != active {
+            return Err(format!(
+                "unique table has {} entries for {} active nodes",
+                self.unique.len(),
+                active
+            ));
+        }
+        if active != self.active {
+            return Err(format!(
+                "active count {} does not match table {}",
+                self.active, active
+            ));
+        }
+        let mut dead = 0usize;
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.var == FREE_VAR {
+                continue;
+            }
+            let mut expected = parent_counts.get(&i).copied().unwrap_or(0);
+            expected += self.ext_refs.get(&(i as u32)).copied().unwrap_or(0);
+            if self.var_nodes[self.nodes[i].var as usize] == Some(i as u32)
+                && self.nodes[i].var != FREE_VAR
+            {
+                expected += 1;
+            }
+            if n.rc != expected {
+                return Err(format!(
+                    "node {i} has rc {} but {} references",
+                    n.rc, expected
+                ));
+            }
+            if n.rc == 0 {
+                dead += 1;
+            }
+        }
+        if dead != self.dead {
+            return Err(format!(
+                "dead count {} does not match table {}",
+                self.dead, dead
+            ));
+        }
+        for (lvl, &v) in self.order.iter().enumerate() {
+            if self.level[v as usize] as usize != lvl {
+                return Err("order/level arrays disagree".to_string());
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn check(m: &BddManager) {
+        m.check_invariants().expect("invariants hold");
+    }
 
     #[test]
     fn constants_and_variables() {
@@ -526,9 +1708,24 @@ mod tests {
         assert_eq!(m.constant(false), BddRef::FALSE);
         let x = m.var(0).unwrap();
         let nx = m.nvar(0).unwrap();
-        let n = m.not(x).unwrap();
+        let n = m.not(x);
         assert_eq!(n, nx);
         assert!(m.var(3).is_err());
+        check(&m);
+    }
+
+    #[test]
+    fn negation_is_free() {
+        let mut m = BddManager::new(4);
+        let x = m.var(0).unwrap();
+        let y = m.var(1).unwrap();
+        let f = m.and(x, y).unwrap();
+        let before = m.stats().allocated_slots;
+        let g = m.not(f);
+        assert_eq!(m.stats().allocated_slots, before, "no allocation");
+        assert_eq!(m.not(g), f, "double complement is the identity");
+        assert_ne!(g, f);
+        check(&m);
     }
 
     #[test]
@@ -537,28 +1734,21 @@ mod tests {
         let x = m.var(0).unwrap();
         let y = m.var(1).unwrap();
         let z = m.var(2).unwrap();
-        // Distributivity: x ∧ (y ∨ z) = (x ∧ y) ∨ (x ∧ z)
         let yz = m.or(y, z).unwrap();
         let lhs = m.and(x, yz).unwrap();
         let xy = m.and(x, y).unwrap();
         let xz = m.and(x, z).unwrap();
         let rhs = m.or(xy, xz).unwrap();
         assert_eq!(lhs, rhs, "canonical form makes equal functions identical");
-        // De Morgan.
         let nxy = {
             let a = m.and(x, y).unwrap();
-            m.not(a).unwrap()
+            m.not(a)
         };
-        let nx = m.not(x).unwrap();
-        let ny = m.not(y).unwrap();
+        let nx = m.not(x);
+        let ny = m.not(y);
         let or_n = m.or(nx, ny).unwrap();
-        assert_eq!(nxy, or_n);
-        // Double negation.
-        let nn = {
-            let n1 = m.not(x).unwrap();
-            m.not(n1).unwrap()
-        };
-        assert_eq!(nn, x);
+        assert_eq!(nxy, or_n, "De Morgan");
+        check(&m);
     }
 
     #[test]
@@ -568,10 +1758,10 @@ mod tests {
         let y = m.var(1).unwrap();
         let a = m.xor(x, y).unwrap();
         let b = m.xnor(x, y).unwrap();
-        let nb = m.not(b).unwrap();
-        assert_eq!(a, nb);
+        assert_eq!(a, m.not(b));
         let self_xor = m.xor(x, x).unwrap();
         assert_eq!(self_xor, BddRef::FALSE);
+        check(&m);
     }
 
     #[test]
@@ -581,11 +1771,13 @@ mod tests {
         let y = m.var(1).unwrap();
         let z = m.var(2).unwrap();
         let xy = m.and(x, y).unwrap();
-        let f = m.or(xy, z).unwrap(); // (x ∧ y) ∨ z
+        let f = m.or(xy, z).unwrap();
         for bits in 0..8u32 {
             let a = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
             let expected = (a[0] && a[1]) || a[2];
             assert_eq!(m.eval(f, &a), expected, "assignment {a:?}");
+            assert!(m.eval(m.constant(true), &a));
+            assert!(!m.eval(m.constant(false), &a));
         }
     }
 
@@ -595,45 +1787,74 @@ mod tests {
         let x = m.var(0).unwrap();
         let y = m.var(1).unwrap();
         let f = m.and(x, y).unwrap();
-        // ∃x. x ∧ y  =  y
         let ex = m.exists(f, &[0]).unwrap();
         assert_eq!(ex, y);
-        // ∀x. x ∧ y  =  false
         let fa = m.forall(f, &[0]).unwrap();
         assert_eq!(fa, BddRef::FALSE);
-        // ∃x y. x ∧ y = true
         let both = m.exists(f, &[0, 1]).unwrap();
         assert_eq!(both, BddRef::TRUE);
+        assert_eq!(m.exists(f, &[]).unwrap(), f);
+        check(&m);
     }
 
     #[test]
-    fn rename_monotone_only() {
+    fn and_exists_is_fused_relational_product() {
+        let mut m = BddManager::new(4);
+        let x = m.var(0).unwrap();
+        let y = m.var(1).unwrap();
+        let z = m.var(2).unwrap();
+        let f = m.xor(x, y).unwrap();
+        let g = m.xnor(y, z).unwrap();
+        let direct = {
+            let conj = m.and(f, g).unwrap();
+            m.exists(conj, &[1]).unwrap()
+        };
+        let fused = m.and_exists(f, g, &[1]).unwrap();
+        assert_eq!(direct, fused);
+        check(&m);
+    }
+
+    #[test]
+    fn rename_arbitrary_maps() {
         let mut m = BddManager::new(4);
         let x0 = m.var(0).unwrap();
         let x1 = m.var(1).unwrap();
-        let f = m.and(x0, x1).unwrap();
-        // Rename {0 -> 2, 1 -> 3} (monotone).
+        let f = m.implies(x0, x1).unwrap();
+        // Monotone map.
         let renamed = m.rename(f, &[(0, 2), (1, 3)]).unwrap();
         let x2 = m.var(2).unwrap();
         let x3 = m.var(3).unwrap();
-        let expect = m.and(x2, x3).unwrap();
+        let expect = m.implies(x2, x3).unwrap();
         assert_eq!(renamed, expect);
-        // Non-monotone mapping is rejected.
-        assert!(m.rename(f, &[(0, 3), (1, 2)]).is_err());
+        // Non-monotone (order-reversing) map: now supported.
+        let swapped = m.rename(f, &[(0, 3), (1, 2)]).unwrap();
+        let expect2 = m.implies(x3, x2).unwrap();
+        assert_eq!(swapped, expect2);
+        // A simultaneous swap of 0 and 1.
+        let sw = m.rename(f, &[(0, 1), (1, 0)]).unwrap();
+        let expect3 = m.implies(x1, x0).unwrap();
+        assert_eq!(sw, expect3);
+        assert!(m.rename(f, &[(0, 9)]).is_err());
+        check(&m);
     }
 
     #[test]
-    fn restrict_and_support() {
+    fn restrict_compose_support() {
         let mut m = BddManager::new(3);
         let x = m.var(0).unwrap();
         let y = m.var(1).unwrap();
+        let z = m.var(2).unwrap();
         let f = m.xor(x, y).unwrap();
         assert_eq!(m.support(f), vec![0, 1]);
         let f_x1 = m.restrict(f, 0, true).unwrap();
-        let ny = m.not(y).unwrap();
-        assert_eq!(f_x1, ny);
+        assert_eq!(f_x1, m.not(y));
         let f_x0 = m.restrict(f, 0, false).unwrap();
         assert_eq!(f_x0, y);
+        // compose x := z into x ⊕ y gives z ⊕ y.
+        let composed = m.compose(f, 0, z).unwrap();
+        let expect = m.xor(z, y).unwrap();
+        assert_eq!(composed, expect);
+        check(&m);
     }
 
     #[test]
@@ -641,52 +1862,223 @@ mod tests {
         let mut m = BddManager::new(3);
         let x = m.var(0).unwrap();
         let y = m.var(1).unwrap();
-        let f = m.and(x, y).unwrap(); // 2 satisfying assignments out of 8
+        let f = m.and(x, y).unwrap();
         assert!((m.sat_count(f) - 2.0).abs() < 1e-9);
+        let nf = m.not(f);
+        assert!((m.sat_count(nf) - 6.0).abs() < 1e-9);
         let a = m.any_sat(f).unwrap();
         assert!(m.eval(f, &a));
+        let an = m.any_sat(nf).unwrap();
+        assert!(m.eval(nf, &an));
         assert!(m.any_sat(BddRef::FALSE).is_none());
         assert!((m.sat_count(BddRef::TRUE) - 8.0).abs() < 1e-9);
     }
 
     #[test]
-    fn node_limit_reported() {
-        let mut m = BddManager::new(16).with_node_limit(8);
-        let mut acc = BddRef::TRUE;
-        let mut hit_limit = false;
-        for i in 0..16 {
-            let v = match m.var(i) {
-                Ok(v) => v,
-                Err(BddError::NodeLimit { .. }) => {
-                    hit_limit = true;
-                    break;
-                }
+    fn node_limit_counts_live_nodes() {
+        // The budget is on live nodes: churning through temporaries far in
+        // excess of the limit succeeds because garbage is collected, while
+        // a genuinely large live structure still trips it.
+        let mut m = BddManager::new(16).with_node_limit(64);
+        let vs: Vec<BddRef> = (0..16).map(|i| m.var(i).unwrap()).collect();
+        let (x, y) = (vs[0], vs[1]);
+        for _ in 0..2_000 {
+            let t = m.xor(x, y).unwrap();
+            let _ = m.and(t, x).unwrap(); // becomes garbage immediately
+        }
+        check(&m);
+        // Pile up *protected* distinct functions until the live budget is
+        // genuinely needed.
+        let mut acc = m.constant(false);
+        m.protect(acc);
+        let mut kept = vec![acc];
+        for (i, &v) in vs.iter().enumerate() {
+            let r = match m.xor(acc, v) {
+                Ok(r) => r,
+                Err(e) if e.is_resource_limit() => break,
                 Err(e) => panic!("unexpected error {e}"),
             };
-            match m.and(acc, v) {
-                Ok(r) => acc = r,
-                Err(BddError::NodeLimit { .. }) => {
-                    hit_limit = true;
-                    break;
-                }
+            m.protect(r);
+            kept.push(r);
+            acc = r;
+            let lo = vs[i / 2];
+            let extra = match m.and(acc, lo) {
+                Ok(extra) => extra,
+                Err(e) if e.is_resource_limit() => break,
                 Err(e) => panic!("unexpected error {e}"),
-            }
+            };
+            m.protect(extra);
+            kept.push(extra);
         }
-        assert!(hit_limit, "the node limit must eventually trigger");
+        assert!(m.node_count() <= 64 + 1, "live nodes stay within budget");
+        check(&m);
+    }
+
+    #[test]
+    fn gc_reclaims_garbage_but_not_protected() {
+        let mut m = BddManager::new(8);
+        let x = m.var(0).unwrap();
+        let y = m.var(1).unwrap();
+        let keep = m.and(x, y).unwrap();
+        m.protect(keep);
+        for i in 2..8 {
+            let v = m.var(i).unwrap();
+            let _ = m.xor(keep, v).unwrap(); // garbage
+        }
+        let before = m.node_count();
+        let freed = m.collect_garbage();
+        assert!(freed > 0, "temporaries are reclaimed");
+        assert!(m.node_count() < before);
+        assert!(m.eval(
+            keep,
+            &[true, true, false, false, false, false, false, false]
+        ));
+        check(&m);
+        // Releasing the protection lets the node go on the next collection.
+        m.unprotect(keep);
+        let freed2 = m.collect_garbage();
+        assert!(freed2 >= 1);
+        check(&m);
+    }
+
+    #[test]
+    fn depth_limit_reports_resource_limit() {
+        let mut m = BddManager::new(8).with_depth_limit(3);
+        let vs: Vec<BddRef> = (0..8).map(|i| m.var(i).unwrap()).collect();
+        // The conjunction chain descends one level per variable, so it must
+        // eventually exceed a depth budget of 3.
+        match m.and_all(&vs) {
+            Err(BddError::ResourceLimit {
+                resource: ResourceKind::Depth,
+                ..
+            }) => {}
+            other => panic!("expected a depth limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_is_bounded_and_evicts() {
+        let mut m = BddManager::new(24).with_cache_capacity(1024);
+        let mut fs = Vec::new();
+        for i in 0..24 {
+            let v = m.var(i).unwrap();
+            fs.push(v);
+        }
+        let f = m.and_all(&fs).unwrap();
+        m.protect(f);
+        for i in 0..23 {
+            let _ = m.exists(f, &[i]).unwrap();
+            let _ = m.restrict(f, i, true).unwrap();
+        }
+        // The same query again is answered from the cache.
+        let e1 = m.exists(f, &[5]).unwrap();
+        let e2 = m.exists(f, &[5]).unwrap();
+        assert_eq!(e1, e2);
+        let st = m.stats();
+        assert!(st.cache_hits > 0);
+        assert!(st.cache_misses > 0);
+        check(&m);
+    }
+
+    #[test]
+    fn sifting_shrinks_an_adversarial_order() {
+        // f = (x0∧x3) ∨ (x1∧x4) ∨ (x2∧x5) under the interleaved order
+        // 0,1,2,3,4,5 is exponential in the number of pairs; sifting finds
+        // the paired order and shrinks it.
+        let mut m = BddManager::new(6);
+        let mut f = m.constant(false);
+        for i in 0..3 {
+            let a = m.var(i).unwrap();
+            let b = m.var(i + 3).unwrap();
+            let ab = m.and(a, b).unwrap();
+            f = m.or(f, ab).unwrap();
+        }
+        m.protect(f);
+        let before = m.size(f);
+        let saved = m.reorder();
+        let after = m.size(f);
+        assert!(after < before, "sifting shrinks {before} -> {after}");
+        assert!(saved > 0);
+        check(&m);
+        // Semantics preserved across the reorder.
+        for bits in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 != 0).collect();
+            let expected = (a[0] && a[3]) || (a[1] && a[4]) || (a[2] && a[5]);
+            assert_eq!(m.eval(f, &a), expected);
+        }
+        assert!(m.stats().reorders >= 1);
+    }
+
+    #[test]
+    fn explicit_order_round_trips() {
+        let mut m = BddManager::new(4);
+        let x0 = m.var(0).unwrap();
+        let x2 = m.var(2).unwrap();
+        let f = m.xor(x0, x2).unwrap();
+        m.protect(f);
+        m.set_order(&[3, 2, 1, 0]).unwrap();
+        assert_eq!(m.order(), vec![3, 2, 1, 0]);
+        check(&m);
+        for bits in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 != 0).collect();
+            assert_eq!(m.eval(f, &a), a[0] ^ a[2]);
+        }
+        m.set_order(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(m.order(), vec![0, 1, 2, 3]);
+        assert!(m.set_order(&[0, 0, 1, 2]).is_err());
+        assert!(m.set_order(&[0, 1]).is_err());
+        check(&m);
+    }
+
+    #[test]
+    fn dynamic_reordering_triggers_on_growth() {
+        // The adversarially-interleaved pair function over 13 pairs peaks
+        // well above INITIAL_REORDER_THRESHOLD (4096) live nodes, so the
+        // growth trigger in `prepare` must fire at least once mid-build.
+        const PAIRS: u32 = 13;
+        let mut m = BddManager::new(2 * PAIRS).with_dynamic_reordering(true);
+        let mut f = m.constant(false);
+        m.protect(f);
+        for i in 0..PAIRS {
+            let a = m.var(i).unwrap();
+            let b = m.var(PAIRS + i).unwrap();
+            let ab = m.and(a, b).unwrap();
+            let next = m.or(f, ab).unwrap();
+            m.update_protected(&mut f, next);
+        }
+        assert!(
+            m.stats().reorders >= 1,
+            "growth past the threshold runs a sifting pass"
+        );
+        for bits in [0u32, !0u32, 0x00FF_13FF, 0x1234_5678, 0x0357_9BDF] {
+            let a: Vec<bool> = (0..2 * PAIRS).map(|i| (bits >> i) & 1 != 0).collect();
+            let expected = (0..PAIRS as usize).any(|i| a[i] && a[i + PAIRS as usize]);
+            assert_eq!(m.eval(f, &a), expected);
+        }
+        check(&m);
     }
 
     #[test]
     fn size_is_canonical() {
         let mut m = BddManager::new(4);
-        // A function and itself built differently share all nodes.
         let x = m.var(0).unwrap();
         let y = m.var(1).unwrap();
         let f1 = m.and(x, y).unwrap();
-        let ny = m.not(y).unwrap();
-        let nboth = m.or(ny, f1).unwrap();
-        let f2 = m.and(x, nboth).unwrap(); // x ∧ (¬y ∨ (x∧y)) = x ∧ (¬y ∨ y) ... = x? no: x ∧ (¬y ∨ (x ∧ y)) = x ∧ (¬y ∨ y) = x
-        let _ = f2;
         assert!(m.size(f1) >= 3);
         assert_eq!(m.and(x, y).unwrap(), f1, "hash consing returns same node");
+        assert_eq!(m.size(BddRef::TRUE), 1);
+    }
+
+    #[test]
+    fn add_vars_extends_the_order() {
+        let mut m = BddManager::new(2);
+        let first = m.add_vars(2);
+        assert_eq!(first, 2);
+        assert_eq!(m.num_vars(), 4);
+        let v = m.var(3).unwrap();
+        let x = m.var(0).unwrap();
+        let f = m.and(v, x).unwrap();
+        assert!(m.eval(f, &[true, false, false, true]));
+        check(&m);
     }
 }

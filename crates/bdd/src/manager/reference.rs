@@ -1,0 +1,536 @@
+//! The textbook ROBDD manager kept as the differential-testing oracle.
+//!
+//! This is the PR-2-era minimal implementation: two terminal nodes, no
+//! complement edges, unbounded per-operation `HashMap` caches, no garbage
+//! collection and a fixed variable order. It exists solely so that
+//! `tests/manager_properties.rs` can pin the production
+//! [`crate::BddManager`] against an independent implementation of the same
+//! semantics (mirroring the `hash_logic::term::reference` pattern). Do not
+//! use it for anything performance-sensitive.
+
+use crate::error::{BddError, Result};
+use std::collections::HashMap;
+
+/// A reference to a BDD node within a reference [`BddManager`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant FALSE.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant TRUE.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// The raw index (used only for statistics).
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is one of the two terminal nodes.
+    pub fn is_terminal(&self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    var: u32,
+    low: BddRef,
+    high: BddRef,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// The textbook reduced ordered BDD manager with a fixed variable order
+/// (variable `0` is the topmost).
+#[derive(Clone, Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    num_vars: u32,
+    node_limit: usize,
+}
+
+impl BddManager {
+    /// Creates a manager for the given number of variables.
+    pub fn new(num_vars: u32) -> BddManager {
+        let mut nodes = Vec::with_capacity(1024);
+        nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: BddRef::FALSE,
+            high: BddRef::FALSE,
+        });
+        nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: BddRef::TRUE,
+            high: BddRef::TRUE,
+        });
+        BddManager {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            num_vars,
+            node_limit: usize::MAX,
+        }
+    }
+
+    /// Sets a soft node limit; operations that would exceed it fail with
+    /// [`BddError::ResourceLimit`]. Unlike the production manager this
+    /// counts every allocation ever made (there is no GC).
+    pub fn with_node_limit(mut self, limit: usize) -> BddManager {
+        self.node_limit = limit;
+        self
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The total number of allocated nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The BDD for a constant.
+    pub fn constant(&self, value: bool) -> BddRef {
+        if value {
+            BddRef::TRUE
+        } else {
+            BddRef::FALSE
+        }
+    }
+
+    /// The BDD for a single variable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the variable index is out of range.
+    pub fn var(&mut self, var: u32) -> Result<BddRef> {
+        if var >= self.num_vars {
+            return Err(BddError::UnknownVariable { var });
+        }
+        self.mk_node(var, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// The BDD for the negation of a single variable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the variable index is out of range.
+    pub fn nvar(&mut self, var: u32) -> Result<BddRef> {
+        if var >= self.num_vars {
+            return Err(BddError::UnknownVariable { var });
+        }
+        self.mk_node(var, BddRef::TRUE, BddRef::FALSE)
+    }
+
+    fn var_of(&self, f: BddRef) -> u32 {
+        self.nodes[f.index()].var
+    }
+
+    fn node(&self, f: BddRef) -> Node {
+        self.nodes[f.index()]
+    }
+
+    fn mk_node(&mut self, var: u32, low: BddRef, high: BddRef) -> Result<BddRef> {
+        if low == high {
+            return Ok(low);
+        }
+        if let Some(&existing) = self.unique.get(&(var, low, high)) {
+            return Ok(existing);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(BddError::node_limit(self.node_limit));
+        }
+        let id = BddRef(self.nodes.len() as u32);
+        self.nodes.push(Node { var, low, high });
+        self.unique.insert((var, low, high), id);
+        Ok(id)
+    }
+
+    fn cofactors(&self, f: BddRef, var: u32) -> (BddRef, BddRef) {
+        let n = self.node(f);
+        if n.var == var {
+            (n.low, n.high)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> Result<BddRef> {
+        if f == BddRef::TRUE {
+            return Ok(g);
+        }
+        if f == BddRef::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == BddRef::TRUE && h == BddRef::FALSE {
+            return Ok(f);
+        }
+        if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(cached);
+        }
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let t = self.ite(f1, g1, h1)?;
+        let e = self.ite(f0, g0, h0)?;
+        let result = self.mk_node(top, e, t)?;
+        self.ite_cache.insert((f, g, h), result);
+        Ok(result)
+    }
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn not(&mut self, f: BddRef) -> Result<BddRef> {
+        self.ite(f, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
+        self.ite(f, g, BddRef::FALSE)
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
+        self.ite(f, BddRef::TRUE, g)
+    }
+
+    /// Exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence (XNOR).
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn xnor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
+        let ng = self.not(g)?;
+        self.ite(f, g, ng)
+    }
+
+    /// Implication.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn implies(&mut self, f: BddRef, g: BddRef) -> Result<BddRef> {
+        self.ite(f, g, BddRef::TRUE)
+    }
+
+    /// Existential quantification over a set of variables.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn exists(&mut self, f: BddRef, vars: &[u32]) -> Result<BddRef> {
+        let mut cache = HashMap::new();
+        self.exists_rec(f, vars, &mut cache)
+    }
+
+    fn exists_rec(
+        &mut self,
+        f: BddRef,
+        vars: &[u32],
+        cache: &mut HashMap<BddRef, BddRef>,
+    ) -> Result<BddRef> {
+        if f.is_terminal() {
+            return Ok(f);
+        }
+        if let Some(&c) = cache.get(&f) {
+            return Ok(c);
+        }
+        let n = self.node(f);
+        let low = self.exists_rec(n.low, vars, cache)?;
+        let high = self.exists_rec(n.high, vars, cache)?;
+        let result = if vars.contains(&n.var) {
+            self.or(low, high)?
+        } else {
+            self.mk_node(n.var, low, high)?
+        };
+        cache.insert(f, result);
+        Ok(result)
+    }
+
+    /// Universal quantification over a set of variables.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn forall(&mut self, f: BddRef, vars: &[u32]) -> Result<BddRef> {
+        let nf = self.not(f)?;
+        let ex = self.exists(nf, vars)?;
+        self.not(ex)
+    }
+
+    /// Relational product: `∃ vars. f ∧ g`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn and_exists(&mut self, f: BddRef, g: BddRef, vars: &[u32]) -> Result<BddRef> {
+        let conj = self.and(f, g)?;
+        self.exists(conj, vars)
+    }
+
+    /// Renames variables according to `map` (old → new). The mapping must be
+    /// monotone with respect to the variable order, so that the result is
+    /// still ordered.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mapping is not monotone or a variable is out of range.
+    pub fn rename(&mut self, f: BddRef, map: &[(u32, u32)]) -> Result<BddRef> {
+        let mut sorted = map.to_vec();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0].1 >= w[1].1 {
+                return Err(BddError::NonMonotoneRename);
+            }
+        }
+        for &(a, b) in map {
+            if a >= self.num_vars || b >= self.num_vars {
+                return Err(BddError::UnknownVariable { var: a.max(b) });
+            }
+        }
+        let mut cache = HashMap::new();
+        self.rename_rec(f, map, &mut cache)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: BddRef,
+        map: &[(u32, u32)],
+        cache: &mut HashMap<BddRef, BddRef>,
+    ) -> Result<BddRef> {
+        if f.is_terminal() {
+            return Ok(f);
+        }
+        if let Some(&c) = cache.get(&f) {
+            return Ok(c);
+        }
+        let n = self.node(f);
+        let low = self.rename_rec(n.low, map, cache)?;
+        let high = self.rename_rec(n.high, map, cache)?;
+        let new_var = map
+            .iter()
+            .find(|(a, _)| *a == n.var)
+            .map(|(_, b)| *b)
+            .unwrap_or(n.var);
+        let result = self.mk_node(new_var, low, high)?;
+        cache.insert(f, result);
+        Ok(result)
+    }
+
+    /// Functional composition: substitutes the function `g` for the
+    /// variable `var` in `f`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn compose(&mut self, f: BddRef, var: u32, g: BddRef) -> Result<BddRef> {
+        let f1 = self.restrict(f, var, true)?;
+        let f0 = self.restrict(f, var, false)?;
+        self.ite(g, f1, f0)
+    }
+
+    /// Substitutes several variables by functions, one after another.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn compose_many(&mut self, f: BddRef, subs: &[(u32, BddRef)]) -> Result<BddRef> {
+        let mut acc = f;
+        for (var, g) in subs {
+            acc = self.compose(acc, *var, *g)?;
+        }
+        Ok(acc)
+    }
+
+    /// Restricts a variable to a constant value.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node limit is exceeded.
+    pub fn restrict(&mut self, f: BddRef, var: u32, value: bool) -> Result<BddRef> {
+        let lit = if value {
+            self.var(var)?
+        } else {
+            self.nvar(var)?
+        };
+        let conj = self.and(f, lit)?;
+        self.exists(conj, &[var])
+    }
+
+    /// Evaluates the function under a complete assignment
+    /// (`assignment[i]` is the value of variable `i`).
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            let v = assignment.get(n.var as usize).copied().unwrap_or(false);
+            cur = if v { n.high } else { n.low };
+        }
+        cur == BddRef::TRUE
+    }
+
+    /// The number of satisfying assignments over all `num_vars` variables.
+    pub fn sat_count(&self, f: BddRef) -> f64 {
+        let mut cache: HashMap<BddRef, f64> = HashMap::new();
+        fn frac(m: &BddManager, f: BddRef, cache: &mut HashMap<BddRef, f64>) -> f64 {
+            if f == BddRef::TRUE {
+                return 1.0;
+            }
+            if f == BddRef::FALSE {
+                return 0.0;
+            }
+            if let Some(&c) = cache.get(&f) {
+                return c;
+            }
+            let n = m.node(f);
+            let r = 0.5 * frac(m, n.low, cache) + 0.5 * frac(m, n.high, cache);
+            cache.insert(f, r);
+            r
+        }
+        frac(self, f, &mut cache) * 2f64.powi(self.num_vars as i32)
+    }
+
+    /// The support of a function: the variables it depends on.
+    pub fn support(&self, f: BddRef) -> Vec<u32> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if g.is_terminal() || !visited.insert(g) {
+                continue;
+            }
+            let n = self.node(g);
+            seen.insert(n.var);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.into_iter().collect()
+    }
+
+    /// The number of distinct nodes reachable from `f` plus the terminals.
+    pub fn size(&self, f: BddRef) -> usize {
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if g.is_terminal() || !visited.insert(g) {
+                continue;
+            }
+            let n = self.node(g);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        visited.len() + 2
+    }
+
+    /// Finds one satisfying assignment, if any (variables not in the
+    /// support are set to `false`).
+    pub fn any_sat(&self, f: BddRef) -> Option<Vec<bool>> {
+        if f == BddRef::FALSE {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars as usize];
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            if n.high != BddRef::FALSE {
+                assignment[n.var as usize] = true;
+                cur = n.high;
+            } else {
+                assignment[n.var as usize] = false;
+                cur = n.low;
+            }
+        }
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_algebra_laws() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0).unwrap();
+        let y = m.var(1).unwrap();
+        let z = m.var(2).unwrap();
+        let yz = m.or(y, z).unwrap();
+        let lhs = m.and(x, yz).unwrap();
+        let xy = m.and(x, y).unwrap();
+        let xz = m.and(x, z).unwrap();
+        let rhs = m.or(xy, xz).unwrap();
+        assert_eq!(lhs, rhs, "canonical form makes equal functions identical");
+        let nn = {
+            let n1 = m.not(x).unwrap();
+            m.not(n1).unwrap()
+        };
+        assert_eq!(nn, x);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        let mut m = BddManager::new(16).with_node_limit(8);
+        let mut acc = BddRef::TRUE;
+        let mut hit_limit = false;
+        for i in 0..16 {
+            let step = m.var(i).and_then(|v| m.and(acc, v));
+            match step {
+                Ok(r) => acc = r,
+                Err(e) if e.is_resource_limit() => {
+                    hit_limit = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(hit_limit, "the node limit must eventually trigger");
+    }
+
+    #[test]
+    fn non_monotone_rename_rejected() {
+        let mut m = BddManager::new(4);
+        let x0 = m.var(0).unwrap();
+        let x1 = m.var(1).unwrap();
+        let f = m.and(x0, x1).unwrap();
+        let renamed = m.rename(f, &[(0, 2), (1, 3)]).unwrap();
+        let x2 = m.var(2).unwrap();
+        let x3 = m.var(3).unwrap();
+        let expect = m.and(x2, x3).unwrap();
+        assert_eq!(renamed, expect);
+        assert!(m.rename(f, &[(0, 3), (1, 2)]).is_err());
+    }
+}

@@ -46,7 +46,7 @@ fn build(m: &mut BddManager, e: &Expr) -> BddRef {
         Expr::Var(i) => m.var(*i).unwrap(),
         Expr::Not(x) => {
             let f = build(m, x);
-            m.not(f).unwrap()
+            m.not(f)
         }
         Expr::And(x, y) => {
             let (f, g) = (build(m, x), build(m, y));
@@ -92,9 +92,9 @@ proptest! {
         let false_bdd = m.constant(false);
         let same = m.xor(f, false_bdd).unwrap();
         prop_assert_eq!(f, same);
-        // Double negation is the identity.
-        let n = m.not(f).unwrap();
-        let nn = m.not(n).unwrap();
+        // Double negation is the identity (complement-edge flips).
+        let n = m.not(f);
+        let nn = m.not(n);
         prop_assert_eq!(nn, f);
     }
 

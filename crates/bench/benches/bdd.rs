@@ -1,12 +1,90 @@
-//! Criterion bench for the BDD substrate: building the product machine and
-//! one image computation for the Figure-2 example.
+//! Criterion bench for the BDD engine: ite/exists/rename scaling curves
+//! with dynamic reordering on vs. off, plus the product-machine image
+//! computation the verification baselines spend their time in.
+//!
+//! The scaling workload is the classic sifting showcase
+//! `(x0∧xn) ∨ (x1∧x(n+1)) ∨ …` built under the adversarial interleaved
+//! order: exponential with the order fixed, linear once sifting pairs the
+//! variables up.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hash_bdd::{BddManager, BddRef};
 use hash_circuits::figure2::Figure2;
 use hash_equiv::machine::ProductMachine;
 use hash_netlist::gate::bit_blast;
 use hash_retiming::prelude::*;
 
-fn bench_bdd(c: &mut Criterion) {
+/// Builds `∨_i (x_i ∧ x_{n+i})` — adversarial under the default order.
+fn pairs_function(m: &mut BddManager, n: u32) -> BddRef {
+    let mut f = m.constant(false);
+    m.protect(f);
+    for i in 0..n {
+        let a = m.var(i).unwrap();
+        let b = m.var(n + i).unwrap();
+        let ab = m.and(a, b).unwrap();
+        let next = m.or(f, ab).unwrap();
+        m.update_protected(&mut f, next);
+    }
+    f
+}
+
+fn manager(n: u32, reorder: bool) -> BddManager {
+    BddManager::new(2 * n).with_dynamic_reordering(reorder)
+}
+
+fn bench_manager_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_manager");
+    group.sample_size(10);
+    for n in [8u32, 11] {
+        for reorder in [false, true] {
+            let label = if reorder { "reorder" } else { "fixed" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("ite_build_{label}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let mut m = manager(n, reorder);
+                        let f = pairs_function(&mut m, n);
+                        m.size(f)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("exists_{label}"), n),
+                &n,
+                |b, &n| {
+                    let mut m = manager(n, reorder);
+                    let f = pairs_function(&mut m, n);
+                    let evens: Vec<u32> = (0..n).map(|i| 2 * i).collect();
+                    b.iter(|| {
+                        let r = m.exists(f, &evens).unwrap();
+                        m.collect_garbage();
+                        r
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("rename_{label}"), n),
+                &n,
+                |b, &n| {
+                    let mut m = manager(n, reorder);
+                    let f = pairs_function(&mut m, n);
+                    // Swap the two halves: non-monotone, exercises the
+                    // general simultaneous-substitution path.
+                    let map: Vec<(u32, u32)> =
+                        (0..n).flat_map(|i| [(i, n + i), (n + i, i)]).collect();
+                    b.iter(|| {
+                        let r = m.rename(f, &map).unwrap();
+                        m.collect_garbage();
+                        r
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_product_machine(c: &mut Criterion) {
     let mut group = c.benchmark_group("bdd_product_machine");
     group.sample_size(10);
     for n in [4u32, 8] {
@@ -18,7 +96,9 @@ fn bench_bdd(c: &mut Criterion) {
             b.iter(|| {
                 let mut pm = ProductMachine::build(&ga, &gb, 1 << 22).unwrap();
                 let t = pm.transition_relation().unwrap();
+                pm.manager.protect(t);
                 let init = pm.initial_state().unwrap();
+                pm.manager.protect(init);
                 pm.image(init, t).unwrap()
             })
         });
@@ -26,5 +106,5 @@ fn bench_bdd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bdd);
+criterion_group!(benches, bench_manager_ops, bench_product_machine);
 criterion_main!(benches);

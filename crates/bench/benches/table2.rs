@@ -21,17 +21,7 @@ fn bench_table2(c: &mut Criterion) {
         })
     });
     group.bench_function("eijk_plus", |b| {
-        b.iter(|| {
-            check_equivalence_eijk_plus(
-                &netlist,
-                &retimed,
-                EijkOptions {
-                    node_limit: 50_000,
-                    max_iterations: 500,
-                    max_refinements: 8,
-                },
-            )
-        })
+        b.iter(|| check_equivalence_eijk_plus(&netlist, &retimed, EijkOptions::new(50_000, 500, 8)))
     });
     group.finish();
 }

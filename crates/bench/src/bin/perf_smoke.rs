@@ -1,15 +1,19 @@
-//! CI perf-smoke check: re-runs the HASH column of Table I (best of three
-//! runs per width, to shave scheduler noise) and fails if any entry
-//! regresses past 10× the value recorded in the committed
-//! `BENCH_table1.json` snapshot, with a 25 ms absolute floor so the
+//! CI perf-smoke check: re-runs the HASH columns of Table I (Figure-2
+//! sweep) and Table II (IWLS'91-style suite) — best of three runs per
+//! entry, to shave scheduler noise — and fails if any entry regresses past
+//! 10× the value recorded in the committed `BENCH_table1.json` /
+//! `BENCH_table2.json` snapshots, with a 25 ms absolute floor so the
 //! sub-millisecond entries cannot flake on a loaded CI machine (for those
 //! rows the effective gate is "slower than 25 ms", still far below any
 //! real state-space-traversal regression).
 //!
-//! Usage: `cargo run --release -p hash-bench --bin perf_smoke [--snapshot PATH]`
+//! Usage: `cargo run --release -p hash-bench --bin perf_smoke
+//!         [--snapshot PATH] [--table2-snapshot PATH]`
 use hash_bench::cli;
 use hash_circuits::figure2::Figure2;
+use hash_circuits::iwls::{generate, table2_benchmarks};
 use hash_core::prelude::*;
+use hash_retiming::prelude::*;
 use std::time::Instant;
 
 /// Regression threshold: the current time may be at most 10× the recorded
@@ -19,23 +23,41 @@ const FACTOR: f64 = 10.0;
 /// were recorded as a few hundred microseconds do not flake on a loaded
 /// CI machine.
 const FLOOR_SECONDS: f64 = 0.025;
-/// Runs per width; the best (smallest) time is compared, which removes
+/// Runs per entry; the best (smallest) time is compared, which removes
 /// one-off scheduler hiccups without hiding a sustained regression.
 const RUNS: u32 = 3;
 
-/// Extracts `(n, hash_seconds)` pairs from the snapshot. The snapshot is
-/// emitted one row per line by `table1 --json`, so a line-oriented scan is
-/// enough — no JSON library needed (the container is offline).
-fn parse_snapshot(text: &str) -> Vec<(u32, f64, String)> {
+/// A recorded HASH entry: its label (width or benchmark name), the
+/// recorded seconds and the recorded status.
+struct Recorded {
+    label: String,
+    seconds: f64,
+    status: String,
+}
+
+/// Extracts the HASH column from a snapshot. Snapshots are emitted one row
+/// per line by `table1 --json` / `table2 --json`, so a line-oriented scan
+/// is enough — no JSON library needed (the container is offline).
+fn parse_snapshot(text: &str, label_key: &str) -> Vec<Recorded> {
     let mut rows = Vec::new();
     for line in text.lines() {
-        let Some(n) = field(line, "\"n\": ") else {
+        let Some(rest) = line.split(label_key).nth(1) else {
             continue;
+        };
+        let label: String = if label_key.ends_with('"') {
+            // String label ("name": "s344").
+            rest.split('"').next().unwrap_or("").to_string()
+        } else {
+            // Numeric label ("n": 8).
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].to_string()
         };
         let Some(hash_part) = line.split("\"hash\": {").nth(1) else {
             continue;
         };
-        let Some(secs) = field(hash_part, "\"seconds\": ") else {
+        let Some(seconds) = field(hash_part, "\"seconds\": ") else {
             continue;
         };
         let status = hash_part
@@ -44,7 +66,14 @@ fn parse_snapshot(text: &str) -> Vec<(u32, f64, String)> {
             .and_then(|s| s.split('"').next())
             .unwrap_or("?")
             .to_string();
-        rows.push((n as u32, secs, status));
+        if label.is_empty() {
+            continue;
+        }
+        rows.push(Recorded {
+            label,
+            seconds,
+            status,
+        });
     }
     rows
 }
@@ -58,60 +87,101 @@ fn field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let path = cli::opt_value(&args, "--snapshot").unwrap_or_else(|| "BENCH_table1.json".into());
-    let text = match std::fs::read_to_string(&path) {
+fn read_snapshot(path: &str, label_key: &str) -> Vec<Recorded> {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("perf_smoke: cannot read snapshot {path}: {e}");
             std::process::exit(2);
         }
     };
-    let recorded = parse_snapshot(&text);
+    let recorded = parse_snapshot(&text, label_key);
     if recorded.is_empty() {
         eprintln!("perf_smoke: no rows found in {path}");
         std::process::exit(2);
     }
+    recorded
+}
 
-    let mut hash_engine = Hash::new().expect("theories install");
-    let mut failures = 0usize;
-    println!("n\trecorded\tcurrent\tlimit\tverdict");
-    for (n, recorded_secs, status) in recorded {
-        if status != "ok" {
-            println!("{n}\t({status})\t-\t-\tskipped");
-            continue;
-        }
-        let fig = Figure2::new(n);
-        let mut current = f64::INFINITY;
-        let mut result = Err(());
-        for _ in 0..RUNS {
-            let start = Instant::now();
-            let attempt = hash_engine.formal_retime(
-                &fig.netlist,
-                &fig.correct_cut(),
-                RetimeOptions::default(),
-            );
-            current = current.min(start.elapsed().as_secs_f64());
-            result = attempt.map(|_| ()).map_err(|_| ());
-            if result.is_err() {
-                break;
-            }
-        }
-        let limit = (recorded_secs * FACTOR).max(FLOOR_SECONDS);
-        let verdict = match (&result, current <= limit) {
-            (Ok(_), true) => "ok",
-            (Ok(_), false) => {
-                failures += 1;
-                "REGRESSED"
-            }
-            (Err(_), _) => {
-                failures += 1;
-                "FAILED"
-            }
-        };
-        println!("{n}\t{recorded_secs:.6}\t{current:.6}\t{limit:.6}\t{verdict}");
+/// Runs one entry best-of-RUNS and prints the verdict row; returns whether
+/// it regressed or failed.
+fn check_entry(row: &Recorded, mut attempt: impl FnMut() -> std::result::Result<(), ()>) -> bool {
+    if row.status != "ok" {
+        println!("{}\t({})\t-\t-\tskipped", row.label, row.status);
+        return false;
     }
+    let mut current = f64::INFINITY;
+    let mut result = Err(());
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        result = attempt();
+        current = current.min(start.elapsed().as_secs_f64());
+        if result.is_err() {
+            break;
+        }
+    }
+    let limit = (row.seconds * FACTOR).max(FLOOR_SECONDS);
+    let (verdict, failed) = match (&result, current <= limit) {
+        (Ok(_), true) => ("ok", false),
+        (Ok(_), false) => ("REGRESSED", true),
+        (Err(_), _) => ("FAILED", true),
+    };
+    println!(
+        "{}\t{:.6}\t{current:.6}\t{limit:.6}\t{verdict}",
+        row.label, row.seconds
+    );
+    failed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let t1_path = cli::opt_value(&args, "--snapshot").unwrap_or_else(|| "BENCH_table1.json".into());
+    let t2_path =
+        cli::opt_value(&args, "--table2-snapshot").unwrap_or_else(|| "BENCH_table2.json".into());
+    let mut failures = 0usize;
+
+    // Table I: the Figure-2 HASH column, parameterised by the bit width.
+    let mut hash_engine = Hash::new().expect("theories install");
+    println!("Table I HASH column (label = bit width)");
+    println!("n\trecorded\tcurrent\tlimit\tverdict");
+    for row in read_snapshot(&t1_path, "\"n\": ") {
+        let n: u32 = match row.label.parse() {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        let fig = Figure2::new(n);
+        let failed = check_entry(&row, || {
+            hash_engine
+                .formal_retime(&fig.netlist, &fig.correct_cut(), RetimeOptions::default())
+                .map(|_| ())
+                .map_err(|_| ())
+        });
+        failures += failed as usize;
+    }
+
+    // Table II: the IWLS'91-style HASH column, parameterised by benchmark
+    // name (the van Eijk columns are not gated — their cost is the point
+    // of the experiment, not a regression signal).
+    println!("Table II HASH column (label = benchmark)");
+    println!("name\trecorded\tcurrent\tlimit\tverdict");
+    let suite = table2_benchmarks();
+    for row in read_snapshot(&t2_path, "\"name\": \"") {
+        let Some(benchmark) = suite.iter().find(|b| b.name == row.label) else {
+            eprintln!("perf_smoke: unknown benchmark {} in snapshot", row.label);
+            failures += 1;
+            continue;
+        };
+        let netlist = generate(benchmark);
+        let cut = maximal_forward_cut(&netlist);
+        let failed = check_entry(&row, || {
+            hash_engine
+                .formal_retime(&netlist, &cut, RetimeOptions::default())
+                .map(|_| ())
+                .map_err(|_| ())
+        });
+        failures += failed as usize;
+    }
+
     if failures > 0 {
         eprintln!("perf_smoke: {failures} HASH entr(y/ies) regressed past the 10x threshold");
         std::process::exit(1);

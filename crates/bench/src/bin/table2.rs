@@ -1,12 +1,13 @@
 //! Regenerates Table II of the paper: IWLS'91-style benchmarks compared
 //! across Eijk, Eijk+, SIS and HASH.
 //!
-//! The van Eijk limits are configurable: `--node-limit N`,
-//! `--max-iterations N`, `--max-refinements N` (PR 1's open item was that
-//! a too-small node limit made every Eijk entry blow up; see
-//! EXPERIMENTS.md for the sweep). `--json` emits the machine-readable
-//! snapshot. A positional number is still accepted as the node limit for
-//! backwards compatibility.
+//! The van Eijk limits are configurable: `--node-limit N` (a *live*-node
+//! budget since the BDD engine garbage collects), `--max-iterations N`,
+//! `--max-refinements N`, and `--no-reorder` disables sifting dynamic
+//! variable reordering (PR 1's open item was that a too-small node limit
+//! made every Eijk entry blow up; see EXPERIMENTS.md for the sweep).
+//! `--json` emits the machine-readable snapshot. A positional number is
+//! still accepted as the node limit for backwards compatibility.
 use hash_bench::{cli, table2};
 
 const VALUE_FLAGS: &[&str] = &["--node-limit", "--max-iterations", "--max-refinements"];
@@ -28,6 +29,9 @@ fn main() {
     }
     if let Some(n) = cli::opt_value(&args, "--max-refinements").and_then(|s| s.parse().ok()) {
         options = options.with_max_refinements(n);
+    }
+    if cli::flag(&args, "--no-reorder") {
+        options = options.with_reorder(false);
     }
     let rows = table2::run_with(options);
     if cli::flag(&args, "--json") {

@@ -289,15 +289,18 @@ pub mod table2 {
         pub hash: Timing,
     }
 
-    /// The Table-II van Eijk limits. These were PR 1's open item: with the
-    /// old 100k-node default every Eijk entry blew up. The sweep recorded
-    /// in EXPERIMENTS.md showed the smallest entries (s344, s444) complete
-    /// once the limit reaches 8M nodes while the rest keep blowing up at
-    /// any limit tried — so 8M is the default: large enough that a dash
-    /// means genuine state-space growth, small enough that a full run
-    /// stays in minutes.
+    /// The Table-II van Eijk limits. PR 1's open item was a too-small
+    /// 100k default; PR 2 settled on 8M *allocated* nodes. Since PR 3 the
+    /// limit budgets **live** nodes (the BDD engine garbage collects, has
+    /// complement edges and fuses relational products), which is a much
+    /// stricter currency: the benchmarks that complete peak below 400k
+    /// live nodes, while the rest must now *genuinely hold* the budget in
+    /// reachable-set nodes to blow up — at 8M live that takes minutes per
+    /// dash (s641 ≈ 80 s, s838 ≈ 180 s). 2M live keeps the completion
+    /// frontier identical (see the EXPERIMENTS.md sweep: raising 2M → 8M
+    /// completes nothing new) and a full-table run in minutes.
     pub fn default_options() -> EijkOptions {
-        EijkOptions::new(8_000_000, 2_000, 16)
+        EijkOptions::new(2_000_000, 2_000, 16)
     }
 
     /// Runs the Table-II experiment with the given node limit (other knobs
@@ -356,8 +359,8 @@ pub mod table2 {
         out.push_str("{\n");
         out.push_str("  \"experiment\": \"table2\",\n");
         out.push_str(&format!(
-            "  \"node_limit\": {}, \"max_iterations\": {}, \"max_refinements\": {},\n",
-            options.node_limit, options.max_iterations, options.max_refinements
+            "  \"node_limit\": {}, \"max_iterations\": {}, \"max_refinements\": {}, \"reorder\": {},\n",
+            options.node_limit, options.max_iterations, options.max_refinements, options.reorder
         ));
         out.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {

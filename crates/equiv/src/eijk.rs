@@ -30,12 +30,16 @@ use std::time::Instant;
 /// Configuration shared by both van Eijk variants.
 #[derive(Clone, Copy, Debug)]
 pub struct EijkOptions {
-    /// The BDD node limit.
+    /// The budget of *live* BDD nodes: the manager garbage collects (and
+    /// retries the failing operation) before reporting a blow-up, so dead
+    /// intermediates and cache garbage no longer count against the limit.
     pub node_limit: usize,
     /// The maximum number of traversal steps.
     pub max_iterations: usize,
     /// The maximum number of correspondence-refinement rounds.
     pub max_refinements: usize,
+    /// Whether sifting-based dynamic variable reordering is enabled.
+    pub reorder: bool,
 }
 
 impl Default for EijkOptions {
@@ -44,20 +48,29 @@ impl Default for EijkOptions {
             node_limit: 2_000_000,
             max_iterations: 10_000,
             max_refinements: 64,
+            reorder: true,
         }
     }
 }
 
 impl EijkOptions {
-    /// Creates fully explicit options. Callers that sweep the limits (the
-    /// Table-II harness, EXPERIMENTS.md reruns) use this instead of
-    /// struct-literal updates so the knobs are visible at the call site.
+    /// Creates fully explicit options (reordering on). Callers that sweep
+    /// the limits (the Table-II harness, EXPERIMENTS.md reruns) use this
+    /// instead of struct-literal updates so the knobs are visible at the
+    /// call site.
     pub fn new(node_limit: usize, max_iterations: usize, max_refinements: usize) -> EijkOptions {
         EijkOptions {
             node_limit,
             max_iterations,
             max_refinements,
+            reorder: true,
         }
+    }
+
+    /// Enables or disables dynamic variable reordering.
+    pub fn with_reorder(mut self, reorder: bool) -> EijkOptions {
+        self.reorder = reorder;
+        self
     }
 
     /// Replaces the BDD node limit.
@@ -87,16 +100,13 @@ pub fn check_equivalence_eijk(
 ) -> VerificationResult {
     let start = Instant::now();
     match run(a, b, options, false) {
-        Ok((verdict, iterations, peak)) => {
-            VerificationResult::new("Eijk", verdict, start.elapsed(), iterations, peak)
+        Ok((verdict, iterations, peak, alloc)) => {
+            VerificationResult::new("Eijk", verdict, start.elapsed(), iterations, alloc)
+                .with_peak_live(peak)
         }
-        Err(e) if is_resource_limit(&e) => VerificationResult::new(
-            "Eijk",
-            Verdict::ResourceLimit,
-            start.elapsed(),
-            0,
-            options.node_limit,
-        ),
+        Err(e) if is_resource_limit(&e) => {
+            VerificationResult::resource_limit("Eijk", start.elapsed(), options.node_limit, &e)
+        }
         Err(_) => VerificationResult::new("Eijk", Verdict::Inconclusive, start.elapsed(), 0, 0),
     }
 }
@@ -110,16 +120,13 @@ pub fn check_equivalence_eijk_plus(
 ) -> VerificationResult {
     let start = Instant::now();
     match run(a, b, options, true) {
-        Ok((verdict, iterations, peak)) => {
-            VerificationResult::new("Eijk+", verdict, start.elapsed(), iterations, peak)
+        Ok((verdict, iterations, peak, alloc)) => {
+            VerificationResult::new("Eijk+", verdict, start.elapsed(), iterations, alloc)
+                .with_peak_live(peak)
         }
-        Err(e) if is_resource_limit(&e) => VerificationResult::new(
-            "Eijk+",
-            Verdict::ResourceLimit,
-            start.elapsed(),
-            0,
-            options.node_limit,
-        ),
+        Err(e) if is_resource_limit(&e) => {
+            VerificationResult::resource_limit("Eijk+", start.elapsed(), options.node_limit, &e)
+        }
         Err(_) => VerificationResult::new("Eijk+", Verdict::Inconclusive, start.elapsed(), 0, 0),
     }
 }
@@ -143,8 +150,8 @@ fn register_correspondence(
         .collect();
     for _ in 0..max_refinements {
         // Substitution: each register variable is replaced by its class
-        // representative's variable (a functional composition, so no
-        // variable-order monotonicity is required).
+        // representative's variable (a functional composition; variable
+        // nodes are pinned in the manager, so the list is GC-safe).
         let mut subs: Vec<(u32, BddRef)> = Vec::new();
         for (i, &rep_idx) in class.iter().enumerate() {
             if rep_idx != i {
@@ -152,13 +159,25 @@ fn register_correspondence(
                 subs.push((pm.state_vars[i], rep));
             }
         }
-        let substituted: Vec<BddRef> = pm
-            .next_fns
-            .clone()
-            .into_iter()
-            .map(|f| pm.manager.compose_many(f, &subs))
-            .collect::<std::result::Result<_, _>>()?;
-        // Split classes by (old class, substituted next function).
+        // Each substituted function is protected as soon as it exists:
+        // computing the next one may trigger a collection.
+        let mut substituted: Vec<BddRef> = Vec::with_capacity(n);
+        for f in pm.next_fns.clone() {
+            match pm.manager.compose_many(f, &subs) {
+                Ok(s) => {
+                    pm.manager.protect(s);
+                    substituted.push(s);
+                }
+                Err(e) => {
+                    for &s in &substituted {
+                        pm.manager.unprotect(s);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        // Split classes by (old class, substituted next function) —
+        // canonicity makes the id comparison a semantic one.
         let mut new_class = vec![0usize; n];
         for i in 0..n {
             let mut rep = i;
@@ -170,6 +189,9 @@ fn register_correspondence(
             }
             new_class[i] = if rep == i { i } else { new_class[rep] };
         }
+        for &s in &substituted {
+            pm.manager.unprotect(s);
+        }
         if new_class == class {
             break;
         }
@@ -178,15 +200,17 @@ fn register_correspondence(
     Ok(class)
 }
 
+/// Returns (verdict, traversal steps, post-GC peak-live nodes, allocated
+/// node slots of the manager).
 fn run(
     a: &Netlist,
     b: &Netlist,
     options: EijkOptions,
     exploit_dependencies: bool,
-) -> std::result::Result<(Verdict, usize, usize), EquivError> {
+) -> std::result::Result<(Verdict, usize, usize, usize), EquivError> {
     let ga = bit_blast(a)?.netlist;
     let gb = bit_blast(b)?.netlist;
-    let mut pm = ProductMachine::build(&ga, &gb, options.node_limit)?;
+    let mut pm = ProductMachine::build_with(&ga, &gb, options.node_limit, options.reorder)?;
 
     // Correspondence reduction (Eijk+ only): registers proved equivalent by
     // induction are merged, i.e. the non-representative's variable is
@@ -205,52 +229,43 @@ fn run(
         }
     }
     if !subs.is_empty() {
-        pm.next_fns = pm
-            .next_fns
-            .clone()
-            .into_iter()
-            .map(|f| pm.manager.compose_many(f, &subs))
-            .collect::<std::result::Result<_, _>>()?;
-        pm.outputs_a = pm
-            .outputs_a
-            .clone()
-            .into_iter()
-            .map(|f| pm.manager.compose_many(f, &subs))
-            .collect::<std::result::Result<_, _>>()?;
-        pm.outputs_b = pm
-            .outputs_b
-            .clone()
-            .into_iter()
-            .map(|f| pm.manager.compose_many(f, &subs))
-            .collect::<std::result::Result<_, _>>()?;
+        pm.substitute(&subs)?;
     }
     let active: Vec<usize> = (0..pm.state_vars.len())
         .filter(|&i| class[i] == i)
         .collect();
 
-    // Transition relation and miter over the reduced state space.
+    // Transition relation and miter over the reduced state space. Loop
+    // state is kept protected (`update_protected`) so the garbage
+    // collector only ever reclaims genuinely dead intermediates.
     let mut transition = pm.manager.constant(true);
+    pm.manager.protect(transition);
     for &i in &active {
         let nv = pm.manager.var(pm.next_vars[i])?;
         let bi = pm.manager.xnor(nv, pm.next_fns[i])?;
-        transition = pm.manager.and(transition, bi)?;
+        let next = pm.manager.and(transition, bi)?;
+        pm.manager.update_protected(&mut transition, next);
     }
     let mut miter = pm.manager.constant(false);
+    pm.manager.protect(miter);
     for (fa, fb) in pm.outputs_a.clone().iter().zip(pm.outputs_b.clone().iter()) {
         let d = pm.manager.xor(*fa, *fb)?;
-        miter = pm.manager.or(miter, d)?;
+        let next = pm.manager.or(miter, d)?;
+        pm.manager.update_protected(&mut miter, next);
     }
     let mut reached = pm.manager.constant(true);
+    pm.manager.protect(reached);
     for &i in &active {
         let lit = if pm.init_values[i] {
             pm.manager.var(pm.state_vars[i])?
         } else {
             pm.manager.nvar(pm.state_vars[i])?
         };
-        reached = pm.manager.and(reached, lit)?;
+        let next = pm.manager.and(reached, lit)?;
+        pm.manager.update_protected(&mut reached, next);
     }
     let mut frontier = reached;
-    let mut peak = pm.manager.node_count();
+    pm.manager.protect(frontier);
     let quantify: Vec<u32> = active
         .iter()
         .map(|&i| pm.state_vars[i])
@@ -260,24 +275,32 @@ fn run(
         .iter()
         .map(|&i| (pm.next_vars[i], pm.state_vars[i]))
         .collect();
+    let mut peak = pm.live_checkpoint();
 
     for step in 1..=options.max_iterations {
         let bad = pm.manager.and(reached, miter)?;
         if bad != BddRef::FALSE {
-            return Ok((Verdict::NotEquivalent, step, peak));
+            let alloc = pm.manager.stats().allocated_slots;
+            return Ok((Verdict::NotEquivalent, step, peak, alloc));
         }
         let img_next = pm.manager.and_exists(frontier, transition, &quantify)?;
         let image = pm.manager.rename(img_next, &back_rename)?;
-        let not_reached = pm.manager.not(reached)?;
+        let not_reached = pm.manager.not(reached);
         let new_states = pm.manager.and(image, not_reached)?;
-        peak = peak.max(pm.manager.node_count());
         if new_states == BddRef::FALSE {
-            return Ok((Verdict::Equivalent, step, peak));
+            peak = peak.max(pm.live_checkpoint());
+            let alloc = pm.manager.stats().allocated_slots;
+            return Ok((Verdict::Equivalent, step, peak, alloc));
         }
-        reached = pm.manager.or(reached, new_states)?;
-        frontier = new_states;
+        let grown = pm.manager.or(reached, new_states)?;
+        pm.manager.update_protected(&mut reached, grown);
+        pm.manager.update_protected(&mut frontier, new_states);
+        // Live accounting: collect dead traversal intermediates, then
+        // sample — `peak` is the post-GC live-node high-water mark.
+        peak = peak.max(pm.live_checkpoint());
     }
-    Ok((Verdict::Inconclusive, options.max_iterations, peak))
+    let alloc = pm.manager.stats().allocated_slots;
+    Ok((Verdict::Inconclusive, options.max_iterations, peak, alloc))
 }
 
 #[cfg(test)]
@@ -331,14 +354,16 @@ mod tests {
         let o = EijkOptions::default()
             .with_node_limit(123)
             .with_max_iterations(45)
-            .with_max_refinements(6);
+            .with_max_refinements(6)
+            .with_reorder(false);
         assert_eq!(o.node_limit, 123);
         assert_eq!(o.max_iterations, 45);
         assert_eq!(o.max_refinements, 6);
+        assert!(!o.reorder);
         let n = EijkOptions::new(1, 2, 3);
         assert_eq!(
-            (n.node_limit, n.max_iterations, n.max_refinements),
-            (1, 2, 3)
+            (n.node_limit, n.max_iterations, n.max_refinements, n.reorder),
+            (1, 2, 3, true)
         );
     }
 
@@ -346,15 +371,28 @@ mod tests {
     fn node_limit_reports_resource_limit() {
         let fig = Figure2::new(10);
         let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
-        let r = check_equivalence_eijk(
+        let r = check_equivalence_eijk(&fig.netlist, &retimed, EijkOptions::new(100, 50, 4));
+        assert_eq!(r.verdict, Verdict::ResourceLimit);
+    }
+
+    #[test]
+    fn peak_live_is_reported_and_modest() {
+        let fig = Figure2::new(3);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        let r = check_equivalence_eijk(&fig.netlist, &retimed, EijkOptions::default());
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        let peak = r.peak_live.expect("BDD method reports peak-live");
+        assert!(peak > 1, "traversal allocates nodes");
+        assert!(
+            peak <= EijkOptions::default().node_limit,
+            "peak-live respects the budget"
+        );
+        // Reordering off still proves the same verdict.
+        let plain = check_equivalence_eijk(
             &fig.netlist,
             &retimed,
-            EijkOptions {
-                node_limit: 100,
-                max_iterations: 50,
-                max_refinements: 4,
-            },
+            EijkOptions::default().with_reorder(false),
         );
-        assert_eq!(r.verdict, Verdict::ResourceLimit);
+        assert_eq!(plain.verdict, Verdict::Equivalent);
     }
 }

@@ -66,10 +66,24 @@ impl From<NetlistError> for EquivError {
     }
 }
 
-/// Whether the error represents a resource blow-up (BDD node limit), which
-/// the experiment harness reports as a dash like the paper's tables.
+/// Whether the error represents a resource blow-up (BDD live-node budget
+/// or recursion-depth guard), which the experiment harness reports as a
+/// dash like the paper's tables.
 pub fn is_resource_limit(e: &EquivError) -> bool {
-    matches!(e, EquivError::Bdd(BddError::NodeLimit { .. }))
+    matches!(e, EquivError::Bdd(BddError::ResourceLimit { .. }))
+}
+
+/// Whether the error is specifically the live-node budget: only then does
+/// a blow-up imply the manager actually held `node_limit` live nodes
+/// (the depth guard can fire with a nearly empty manager).
+pub fn is_node_budget(e: &EquivError) -> bool {
+    matches!(
+        e,
+        EquivError::Bdd(BddError::ResourceLimit {
+            resource: hash_bdd::ResourceKind::Nodes,
+            ..
+        })
+    )
 }
 
 /// Result alias used throughout the crate.
@@ -81,8 +95,16 @@ mod tests {
 
     #[test]
     fn conversions_and_classification() {
-        let e: EquivError = BddError::NodeLimit { limit: 10 }.into();
+        let e: EquivError = BddError::node_limit(10).into();
         assert!(is_resource_limit(&e));
+        assert!(is_node_budget(&e));
+        let d: EquivError = BddError::ResourceLimit {
+            resource: hash_bdd::ResourceKind::Depth,
+            limit: 4,
+        }
+        .into();
+        assert!(is_resource_limit(&d));
+        assert!(!is_node_budget(&d));
         assert!(e.to_string().contains("BDD"));
         let e2: EquivError = NetlistError::UnsupportedWidth { width: 0 }.into();
         assert!(!is_resource_limit(&e2));

@@ -14,6 +14,13 @@ use std::collections::BTreeMap;
 
 /// A symbolic product machine of two gate-level circuits with a shared
 /// input alphabet.
+///
+/// The machine's function vectors (`next_fns`, `outputs_a`, `outputs_b`)
+/// are registered as garbage-collection roots of the manager. Values
+/// *returned* by the helper methods (`initial_state`, `image`, …) are not:
+/// a caller that keeps one across further BDD operations must
+/// [`hash_bdd::BddManager::protect`] it (and release it when done), or it
+/// may be reclaimed by an automatic collection.
 #[derive(Debug)]
 pub struct ProductMachine {
     /// The BDD manager holding every function of the product machine.
@@ -41,6 +48,11 @@ type NetlistFunctions = (Vec<BddRef>, Vec<BddRef>, BTreeMap<SignalId, BddRef>);
 /// Builds the symbolic functions of a single gate-level netlist inside an
 /// existing manager, given the variable assignment for its inputs and
 /// register outputs.
+///
+/// Every signal function in the returned map is `protect`ed — the manager
+/// garbage collects at operation boundaries, so anything held across a BDD
+/// call must be registered as a root. The caller releases the map once the
+/// functions it keeps are protected in their own right.
 fn build_functions(
     manager: &mut BddManager,
     netlist: &Netlist,
@@ -54,10 +66,14 @@ fn build_functions(
     }
     let mut values: BTreeMap<SignalId, BddRef> = BTreeMap::new();
     for (id, var) in netlist.inputs().iter().zip(input_vars.iter()) {
-        values.insert(*id, manager.var(*var)?);
+        let v = manager.var(*var)?;
+        manager.protect(v);
+        values.insert(*id, v);
     }
     for (r, var) in netlist.registers().iter().zip(state_vars.iter()) {
-        values.insert(r.output, manager.var(*var)?);
+        let v = manager.var(*var)?;
+        manager.protect(v);
+        values.insert(r.output, v);
     }
     for ci in netlist.topo_order()? {
         let cell = &netlist.cells()[ci];
@@ -70,7 +86,7 @@ fn build_functions(
             CombOp::Const(v) => manager.constant(v.is_true()),
             CombOp::Not => {
                 let a = get(&cell.inputs[0])?;
-                manager.not(a)?
+                manager.not(a)
             }
             CombOp::And => {
                 let a = get(&cell.inputs[0])?;
@@ -99,6 +115,7 @@ fn build_functions(
                 })
             }
         };
+        manager.protect(f);
         values.insert(cell.output, f);
     }
     let next_fns = netlist
@@ -129,14 +146,30 @@ impl ProductMachine {
     /// Builds the product machine of two gate-level circuits. The circuits
     /// must have the same number of primary inputs and outputs (bit-level).
     ///
-    /// `node_limit` bounds the BDD size; exceeding it is reported as a
-    /// resource limit by the callers.
+    /// `node_limit` budgets the *live* BDD nodes (the manager garbage
+    /// collects and retries before giving up); exceeding it is reported as
+    /// a resource limit by the callers. Dynamic variable reordering is on.
     ///
     /// # Errors
     ///
     /// Fails if the interfaces differ, a netlist is not gate level, or the
     /// node limit is hit while building the functions.
     pub fn build(a: &Netlist, b: &Netlist, node_limit: usize) -> Result<ProductMachine> {
+        ProductMachine::build_with(a, b, node_limit, true)
+    }
+
+    /// [`ProductMachine::build`] with explicit control over dynamic
+    /// variable reordering (the Table-II harness ablates it).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ProductMachine::build`].
+    pub fn build_with(
+        a: &Netlist,
+        b: &Netlist,
+        node_limit: usize,
+        dynamic_reordering: bool,
+    ) -> Result<ProductMachine> {
         if a.inputs().len() != b.inputs().len() {
             return Err(EquivError::InterfaceMismatch {
                 message: format!(
@@ -161,19 +194,32 @@ impl ProductMachine {
         }
         let num_inputs = a.inputs().len() as u32;
         let num_state = (a.registers().len() + b.registers().len()) as u32;
-        // Variable order: inputs first, then interleaved (current, next)
-        // pairs so that renaming next -> current is monotone.
-        let mut manager = BddManager::new(num_inputs + 2 * num_state).with_node_limit(node_limit);
+        // Initial variable order: inputs first, then interleaved
+        // (current, next) pairs — a good starting point for image
+        // computation; sifting refines it from there.
+        let mut manager = BddManager::new(num_inputs + 2 * num_state)
+            .with_node_limit(node_limit)
+            .with_dynamic_reordering(dynamic_reordering);
         let input_vars: Vec<u32> = (0..num_inputs).collect();
         let state_vars: Vec<u32> = (0..num_state).map(|i| num_inputs + 2 * i).collect();
         let next_vars: Vec<u32> = (0..num_state).map(|i| num_inputs + 2 * i + 1).collect();
 
         let state_a = &state_vars[..a.registers().len()];
         let state_b = &state_vars[a.registers().len()..];
-        let (next_a, out_a, _) = build_functions(&mut manager, a, &input_vars, state_a)?;
-        let (next_b, out_b, _) = build_functions(&mut manager, b, &input_vars, state_b)?;
+        let (next_a, out_a, vals_a) = build_functions(&mut manager, a, &input_vars, state_a)?;
+        let (next_b, out_b, vals_b) = build_functions(&mut manager, b, &input_vars, state_b)?;
         let mut next_fns = next_a;
         next_fns.extend(next_b);
+        // The machine's functions become the GC roots; the per-signal maps
+        // (which kept intermediates alive during construction) are released
+        // so dead gate functions can be reclaimed.
+        for &f in next_fns.iter().chain(out_a.iter()).chain(out_b.iter()) {
+            manager.protect(f);
+        }
+        for f in vals_a.values().chain(vals_b.values()) {
+            manager.unprotect(*f);
+        }
+        manager.collect_garbage();
         let init_values: Vec<bool> = a
             .registers()
             .iter()
@@ -200,15 +246,26 @@ impl ProductMachine {
     ///
     /// Fails only on a node-limit blow-up.
     pub fn initial_state(&mut self) -> Result<BddRef> {
+        // The accumulator is protected across the loop: creating the next
+        // literal may itself trigger a collection at the node budget.
         let mut acc = self.manager.constant(true);
-        for (var, value) in self.state_vars.iter().zip(self.init_values.iter()) {
-            let lit = if *value {
-                self.manager.var(*var)?
+        self.manager.protect(acc);
+        for (var, value) in self.state_vars.clone().iter().zip(self.init_values.iter()) {
+            let step = if *value {
+                self.manager.var(*var)
             } else {
-                self.manager.nvar(*var)?
-            };
-            acc = self.manager.and(acc, lit)?;
+                self.manager.nvar(*var)
+            }
+            .and_then(|lit| self.manager.and(acc, lit));
+            match step {
+                Ok(next) => self.manager.update_protected(&mut acc, next),
+                Err(e) => {
+                    self.manager.unprotect(acc);
+                    return Err(e.into());
+                }
+            }
         }
+        self.manager.unprotect(acc);
         Ok(acc)
     }
 
@@ -220,10 +277,21 @@ impl ProductMachine {
     /// Fails only on a node-limit blow-up.
     pub fn output_difference(&mut self) -> Result<BddRef> {
         let mut acc = self.manager.constant(false);
+        self.manager.protect(acc);
         for (fa, fb) in self.outputs_a.iter().zip(self.outputs_b.iter()) {
-            let diff = self.manager.xor(*fa, *fb)?;
-            acc = self.manager.or(acc, diff)?;
+            let step = self
+                .manager
+                .xor(*fa, *fb)
+                .and_then(|diff| self.manager.or(acc, diff));
+            match step {
+                Ok(next) => self.manager.update_protected(&mut acc, next),
+                Err(e) => {
+                    self.manager.unprotect(acc);
+                    return Err(e.into());
+                }
+            }
         }
+        self.manager.unprotect(acc);
         Ok(acc)
     }
 
@@ -234,11 +302,21 @@ impl ProductMachine {
     /// Fails only on a node-limit blow-up.
     pub fn transition_relation(&mut self) -> Result<BddRef> {
         let mut acc = self.manager.constant(true);
+        self.manager.protect(acc);
         for (nv, f) in self.next_vars.iter().zip(self.next_fns.iter()) {
-            let nvar = self.manager.var(*nv)?;
-            let bi = self.manager.xnor(nvar, *f)?;
-            acc = self.manager.and(acc, bi)?;
+            let step = self.manager.var(*nv).and_then(|nvar| {
+                let bi = self.manager.xnor(nvar, *f)?;
+                self.manager.and(acc, bi)
+            });
+            match step {
+                Ok(next) => self.manager.update_protected(&mut acc, next),
+                Err(e) => {
+                    self.manager.unprotect(acc);
+                    return Err(e.into());
+                }
+            }
         }
+        self.manager.unprotect(acc);
         Ok(acc)
     }
 
@@ -259,6 +337,47 @@ impl ProductMachine {
             .map(|(n, c)| (*n, *c))
             .collect();
         Ok(self.manager.rename(img_next, &rename)?)
+    }
+
+    /// Applies a variable substitution to every machine function (next
+    /// state, outputs of A and of B), maintaining the GC-root protection:
+    /// the new functions are protected before the old ones are released.
+    /// Used by the van Eijk register-correspondence reduction.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a resource limit (the machine's old functions stay
+    /// protected then, but the run is abandoned anyway).
+    pub fn substitute(&mut self, subs: &[(u32, BddRef)]) -> Result<()> {
+        fn substitute_vec(
+            manager: &mut BddManager,
+            fns: &mut Vec<BddRef>,
+            subs: &[(u32, BddRef)],
+        ) -> Result<()> {
+            let mut new = Vec::with_capacity(fns.len());
+            for &f in fns.iter() {
+                let s = manager.compose_many(f, subs)?;
+                manager.protect(s);
+                new.push(s);
+            }
+            for &f in fns.iter() {
+                manager.unprotect(f);
+            }
+            *fns = new;
+            Ok(())
+        }
+        substitute_vec(&mut self.manager, &mut self.next_fns, subs)?;
+        substitute_vec(&mut self.manager, &mut self.outputs_a, subs)?;
+        substitute_vec(&mut self.manager, &mut self.outputs_b, subs)?;
+        Ok(())
+    }
+
+    /// Collects garbage and returns the live-node count: the honest
+    /// "how big is the traversal right now" sample the baselines record as
+    /// peak-live.
+    pub fn live_checkpoint(&mut self) -> usize {
+        self.manager.collect_garbage();
+        self.manager.node_count()
     }
 }
 

@@ -45,9 +45,17 @@ pub struct VerificationResult {
     pub duration: Duration,
     /// Number of fixed-point iterations / traversal steps.
     pub iterations: usize,
-    /// Peak size of the main symbolic structure (BDD nodes) or the number
-    /// of explicit states explored.
+    /// The gross footprint of the run: allocated BDD node slots of the
+    /// manager (live or awaiting reuse) for the symbolic methods, or the
+    /// number of explicit states explored for SIS. Compare with
+    /// `peak_live` to see how much of the allocation was ever needed at
+    /// once.
     pub peak_size: usize,
+    /// For the BDD-based methods: the peak number of *live* manager nodes,
+    /// sampled after garbage collection at each traversal step. This is
+    /// the honest memory footprint — dead nodes and cache garbage are
+    /// excluded — and the quantity the `node_limit` budgets.
+    pub peak_live: Option<usize>,
     /// A short description of the method.
     pub method: &'static str,
 }
@@ -66,7 +74,32 @@ impl VerificationResult {
             duration,
             iterations,
             peak_size,
+            peak_live: None,
             method,
+        }
+    }
+
+    /// Records the peak live-node count (BDD-based methods).
+    pub fn with_peak_live(mut self, peak_live: usize) -> VerificationResult {
+        self.peak_live = Some(peak_live);
+        self
+    }
+
+    /// The shared blow-up report of the BDD-based methods. Only a
+    /// live-node-budget error implies the manager actually held
+    /// `node_limit` live nodes; a depth-guard blow-up leaves `peak_live`
+    /// unset (it says nothing about memory).
+    pub(crate) fn resource_limit(
+        method: &'static str,
+        elapsed: Duration,
+        node_limit: usize,
+        error: &crate::error::EquivError,
+    ) -> VerificationResult {
+        let r = VerificationResult::new(method, Verdict::ResourceLimit, elapsed, 0, node_limit);
+        if crate::error::is_node_budget(error) {
+            r.with_peak_live(node_limit)
+        } else {
+            r
         }
     }
 }
@@ -75,13 +108,17 @@ impl fmt::Display for VerificationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} in {:.3}s ({} iterations, peak {})",
+            "{}: {} in {:.3}s ({} iterations, peak {}",
             self.method,
             self.verdict,
             self.duration.as_secs_f64(),
             self.iterations,
             self.peak_size
-        )
+        )?;
+        if let Some(live) = self.peak_live {
+            write!(f, ", peak live {live}")?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -102,5 +139,8 @@ mod tests {
         assert!(s.contains("smv") && s.contains("equivalent") && s.contains("42"));
         assert!(Verdict::Equivalent.is_equivalent());
         assert!(!Verdict::Inconclusive.is_equivalent());
+        let with_live = r.with_peak_live(17);
+        assert_eq!(with_live.peak_live, Some(17));
+        assert!(with_live.to_string().contains("peak live 17"));
     }
 }

@@ -19,7 +19,9 @@ use std::time::Instant;
 /// Configuration of the symbolic traversal.
 #[derive(Clone, Copy, Debug)]
 pub struct SmvOptions {
-    /// The BDD node limit; exceeding it is reported as a resource limit.
+    /// The budget of *live* BDD nodes (the manager garbage collects and
+    /// retries before giving up); exceeding it is reported as a resource
+    /// limit.
     pub node_limit: usize,
     /// The maximum number of image-computation steps.
     pub max_iterations: usize,
@@ -39,51 +41,63 @@ impl Default for SmvOptions {
 pub fn check_equivalence_smv(a: &Netlist, b: &Netlist, options: SmvOptions) -> VerificationResult {
     let start = Instant::now();
     match run(a, b, options) {
-        Ok((verdict, iterations, peak)) => {
-            VerificationResult::new("SMV", verdict, start.elapsed(), iterations, peak)
+        Ok((verdict, iterations, peak, alloc)) => {
+            VerificationResult::new("SMV", verdict, start.elapsed(), iterations, alloc)
+                .with_peak_live(peak)
         }
-        Err(e) if is_resource_limit(&e) => VerificationResult::new(
-            "SMV",
-            Verdict::ResourceLimit,
-            start.elapsed(),
-            0,
-            options.node_limit,
-        ),
+        Err(e) if is_resource_limit(&e) => {
+            VerificationResult::resource_limit("SMV", start.elapsed(), options.node_limit, &e)
+        }
         Err(_) => VerificationResult::new("SMV", Verdict::Inconclusive, start.elapsed(), 0, 0),
     }
 }
 
+/// Returns (verdict, traversal steps, post-GC peak-live nodes, allocated
+/// node slots of the manager).
 fn run(
     a: &Netlist,
     b: &Netlist,
     options: SmvOptions,
-) -> crate::error::Result<(Verdict, usize, usize)> {
+) -> crate::error::Result<(Verdict, usize, usize, usize)> {
     let ga = bit_blast(a)?.netlist;
     let gb = bit_blast(b)?.netlist;
     let mut pm = ProductMachine::build(&ga, &gb, options.node_limit)?;
+    // Everything held across BDD operations is protected from the garbage
+    // collector; loop state transfers its root via `update_protected`.
     let transition = pm.transition_relation()?;
+    pm.manager.protect(transition);
     let miter = pm.output_difference()?;
+    pm.manager.protect(miter);
 
     let mut reached = pm.initial_state()?;
+    pm.manager.protect(reached);
     let mut frontier = reached;
-    let mut peak = pm.manager.node_count();
+    pm.manager.protect(frontier);
+    let mut peak = pm.live_checkpoint();
     for step in 1..=options.max_iterations {
         // Outputs must agree in every reachable state, for every input.
         let bad = pm.manager.and(reached, miter)?;
         if bad != hash_bdd::BddRef::FALSE {
-            return Ok((Verdict::NotEquivalent, step, peak));
+            let alloc = pm.manager.stats().allocated_slots;
+            return Ok((Verdict::NotEquivalent, step, peak, alloc));
         }
         let image = pm.image(frontier, transition)?;
-        let not_reached = pm.manager.not(reached)?;
+        let not_reached = pm.manager.not(reached);
         let new_states = pm.manager.and(image, not_reached)?;
-        peak = peak.max(pm.manager.node_count());
         if new_states == hash_bdd::BddRef::FALSE {
-            return Ok((Verdict::Equivalent, step, peak));
+            peak = peak.max(pm.live_checkpoint());
+            let alloc = pm.manager.stats().allocated_slots;
+            return Ok((Verdict::Equivalent, step, peak, alloc));
         }
-        reached = pm.manager.or(reached, new_states)?;
-        frontier = new_states;
+        let grown = pm.manager.or(reached, new_states)?;
+        pm.manager.update_protected(&mut reached, grown);
+        pm.manager.update_protected(&mut frontier, new_states);
+        // Peak-live is sampled post-GC: dead traversal intermediates are
+        // collected before the live count is recorded.
+        peak = peak.max(pm.live_checkpoint());
     }
-    Ok((Verdict::Inconclusive, options.max_iterations, peak))
+    let alloc = pm.manager.stats().allocated_slots;
+    Ok((Verdict::Inconclusive, options.max_iterations, peak, alloc))
 }
 
 #[cfg(test)]
