@@ -14,6 +14,11 @@ pub enum ResourceKind {
     /// instead of overflowing the native stack on pathologically deep
     /// BDDs, operations fail with this error.
     Depth,
+    /// The wall-clock deadline ([`crate::BddManager::with_time_limit`]),
+    /// checked in the node constructor (CUDD-style): long-running
+    /// traversals abort mid-operation with the manager's structural
+    /// invariants intact. The limit is reported in milliseconds.
+    Time,
 }
 
 impl fmt::Display for ResourceKind {
@@ -21,6 +26,7 @@ impl fmt::Display for ResourceKind {
         match self {
             ResourceKind::Nodes => write!(f, "live BDD nodes"),
             ResourceKind::Depth => write!(f, "recursion depth"),
+            ResourceKind::Time => write!(f, "milliseconds of wall clock"),
         }
     }
 }
@@ -52,6 +58,14 @@ impl BddError {
     pub fn node_limit(limit: usize) -> BddError {
         BddError::ResourceLimit {
             resource: ResourceKind::Nodes,
+            limit,
+        }
+    }
+
+    /// Shorthand for the wall-clock budget error (`limit` in milliseconds).
+    pub fn time_limit(limit: usize) -> BddError {
+        BddError::ResourceLimit {
+            resource: ResourceKind::Time,
             limit,
         }
     }
@@ -97,6 +111,9 @@ mod tests {
         };
         assert!(d.to_string().contains("depth"));
         assert!(d.is_resource_limit());
+        let t = BddError::time_limit(50);
+        assert!(t.to_string().contains("50") && t.to_string().contains("wall clock"));
+        assert!(t.is_resource_limit());
         assert!(!BddError::NonMonotoneRename.is_resource_limit());
         assert!(!BddError::NonMonotoneRename.to_string().is_empty());
     }

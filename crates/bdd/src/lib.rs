@@ -42,4 +42,4 @@ pub mod error;
 pub mod manager;
 
 pub use error::{BddError, ResourceKind, Result};
-pub use manager::{BddManager, BddRef, BddStats};
+pub use manager::{BddManager, BddRef, BddStats, VarCube};

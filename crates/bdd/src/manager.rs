@@ -44,6 +44,7 @@ pub mod reference;
 
 use crate::error::{BddError, ResourceKind, Result};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// A reference to a BDD node within a [`BddManager`], with an attributed
 /// complement edge in the lowest bit.
@@ -86,6 +87,17 @@ impl BddRef {
     }
 }
 
+/// An interned quantification cube (a sorted, deduplicated variable set)
+/// of a [`BddManager`], produced by [`BddManager::cube`].
+///
+/// Image-computation schedules quantify a *different* variable set at every
+/// conjunction step of every image; interning the sets once at schedule
+/// construction lets [`BddManager::and_exists_cube`] skip the per-call
+/// sort/dedup/hash of [`BddManager::and_exists`] on the traversal hot path.
+/// A cube is only meaningful for the manager that interned it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VarCube(u32);
+
 /// Variable tag of the single terminal node.
 const TERMINAL_VAR: u32 = u32::MAX;
 /// Variable tag of a freed slot awaiting reuse.
@@ -99,6 +111,11 @@ const MIN_GC_THRESHOLD: usize = 8_192;
 const INITIAL_REORDER_THRESHOLD: usize = 4_096;
 /// Automatic reorders stop after this many runs (explicit calls still work).
 const MAX_AUTO_REORDERS: usize = 64;
+/// Allocations between wall-clock deadline checks: `Instant::now` is a
+/// syscall-class cost, so the deadline is polled once per this many node
+/// constructions (a few microseconds of work), which bounds the overshoot
+/// past the deadline without taxing the allocation fast path.
+const TIME_CHECK_INTERVAL: u32 = 1_024;
 
 #[derive(Clone, Copy, Debug)]
 struct Node {
@@ -261,6 +278,13 @@ pub struct BddManager {
     /// Growth-triggered passes only; explicit [`BddManager::reorder`]
     /// calls do not consume the automatic budget.
     auto_reorders: usize,
+    /// Wall-clock deadline ([`BddManager::with_time_limit`]), polled in the
+    /// node constructor every [`TIME_CHECK_INTERVAL`] allocations.
+    deadline: Option<Instant>,
+    /// The configured wall-clock budget in milliseconds (for the error).
+    time_limit_ms: usize,
+    /// Countdown to the next deadline poll.
+    time_check: u32,
 }
 
 impl BddManager {
@@ -304,6 +328,9 @@ impl BddManager {
             gc_freed: 0,
             reorders: 0,
             auto_reorders: 0,
+            deadline: None,
+            time_limit_ms: 0,
+            time_check: TIME_CHECK_INTERVAL,
         }
     }
 
@@ -311,6 +338,24 @@ impl BddManager {
     /// collect and retry once, then fail with [`BddError::ResourceLimit`].
     pub fn with_node_limit(mut self, limit: usize) -> BddManager {
         self.node_limit = limit;
+        self
+    }
+
+    /// Arms a wall-clock budget measured from this call: once it elapses,
+    /// the next deadline poll in the node constructor fails the running
+    /// operation with [`BddError::ResourceLimit`] of kind
+    /// [`ResourceKind::Time`]. Unlike the live-node budget there is no
+    /// collect-and-retry — time cannot be reclaimed — but the abort leaves
+    /// the manager structurally intact ([`BddManager::check_invariants`]
+    /// still passes), so callers can keep using surviving BDDs. The
+    /// deadline is suspended during reordering (a sift pass always runs to
+    /// completion; the poll after it fires immediately).
+    pub fn with_time_limit(mut self, limit: Duration) -> BddManager {
+        self.deadline = Some(Instant::now() + limit);
+        self.time_limit_ms = limit.as_millis().try_into().unwrap_or(usize::MAX);
+        // Poll on the very next allocation, so an already-expired deadline
+        // fires deterministically even on tiny workloads.
+        self.time_check = 1;
         self
     }
 
@@ -520,8 +565,11 @@ impl BddManager {
     // ------------------------------------------------------------------
 
     fn alloc_node(&mut self, var: u32, low: BddRef, high: BddRef) -> Result<BddRef> {
-        if !self.in_reorder && self.active - self.dead >= self.node_limit {
-            return Err(BddError::node_limit(self.node_limit));
+        if !self.in_reorder {
+            if self.active - self.dead >= self.node_limit {
+                return Err(BddError::node_limit(self.node_limit));
+            }
+            self.check_deadline()?;
         }
         let idx = match self.free_list.pop() {
             Some(i) => {
@@ -558,6 +606,24 @@ impl BddManager {
             self.peak_live = live;
         }
         Ok(BddRef::new(idx, false))
+    }
+
+    /// Polls the wall-clock deadline (if armed) every
+    /// [`TIME_CHECK_INTERVAL`] calls. Called from the node constructor, the
+    /// one place every recursive operation funnels through.
+    fn check_deadline(&mut self) -> Result<()> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        self.time_check -= 1;
+        if self.time_check > 0 {
+            return Ok(());
+        }
+        self.time_check = TIME_CHECK_INTERVAL;
+        if Instant::now() >= deadline {
+            return Err(BddError::time_limit(self.time_limit_ms));
+        }
+        Ok(())
     }
 
     /// Canonical node constructor: collapses redundant tests and keeps the
@@ -1013,7 +1079,46 @@ impl BddManager {
     ///
     /// Fails only on a resource limit.
     pub fn and_exists(&mut self, f: BddRef, g: BddRef, vars: &[u32]) -> Result<BddRef> {
-        let set = self.intern_set(vars);
+        let cube = self.cube(vars);
+        self.and_exists_cube(f, g, cube)
+    }
+
+    /// Interns a quantification variable set for reuse across many
+    /// [`BddManager::and_exists_cube`] calls (out-of-range variables are
+    /// dropped, matching [`BddManager::exists`]). Interning is idempotent:
+    /// the same set always yields the same cube.
+    pub fn cube(&mut self, vars: &[u32]) -> VarCube {
+        VarCube(self.intern_set(vars))
+    }
+
+    /// The variables of an interned cube (sorted ascending).
+    pub fn cube_vars(&self, cube: VarCube) -> &[u32] {
+        &self.var_sets[cube.0 as usize]
+    }
+
+    /// [`BddManager::and_exists`] with a pre-interned quantification cube —
+    /// the per-step entry point of image-computation schedules, which
+    /// quantify a different set at every conjunction step.
+    ///
+    /// Passing a cube interned by a *different* manager is a logic error:
+    /// the assert below only catches ids beyond this manager's intern
+    /// table, while a foreign cube whose id happens to be in range
+    /// silently selects whatever variable set this manager interned under
+    /// that id.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a resource limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cube`'s id is beyond this manager's interned sets.
+    pub fn and_exists_cube(&mut self, f: BddRef, g: BddRef, cube: VarCube) -> Result<BddRef> {
+        let set = cube.0;
+        assert!(
+            (set as usize) < self.var_sets.len(),
+            "cube from a different manager"
+        );
         self.run_op(&[f, g], |m| {
             let deepest = m.set_deepest(set);
             m.and_exists_rec(f, g, set, deepest, 0)
@@ -1297,9 +1402,18 @@ impl BddManager {
 
     /// The support of a function: the variables it depends on, ascending.
     pub fn support(&self, f: BddRef) -> Vec<u32> {
+        self.support_union(&[f])
+    }
+
+    /// The support of a conjunction `f₁ ∧ … ∧ fₖ` without building it: the
+    /// union of the operands' supports, ascending (and the shared walk
+    /// behind the single-function [`BddManager::support`]). Lets a
+    /// quantification scheduler ask what a candidate cluster would depend
+    /// on before any cluster product is materialised.
+    pub fn support_union(&self, fs: &[BddRef]) -> Vec<u32> {
         let mut seen = std::collections::BTreeSet::new();
         let mut visited = std::collections::HashSet::new();
-        let mut stack = vec![f.idx()];
+        let mut stack: Vec<usize> = fs.iter().map(|f| f.idx()).collect();
         while let Some(i) = stack.pop() {
             if i == 0 || !visited.insert(i) {
                 continue;
@@ -2067,6 +2181,94 @@ mod tests {
         assert!(m.size(f1) >= 3);
         assert_eq!(m.and(x, y).unwrap(), f1, "hash consing returns same node");
         assert_eq!(m.size(BddRef::TRUE), 1);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_time_limit_and_intact_invariants() {
+        // A deliberately tiny (already elapsed) deadline: the very next
+        // node construction must fail with ResourceKind::Time, and the
+        // manager must remain structurally consistent after the abort.
+        let mut m = BddManager::new(16).with_time_limit(Duration::ZERO);
+        let x = m.var(0);
+        let err = match x {
+            Err(e) => e,
+            Ok(x) => {
+                // var(0) can only succeed if the poll had not yet fired;
+                // the first real operation must then trip it.
+                let y = m.var(1).unwrap_or(x);
+                m.xor(x, y).expect_err("deadline expired")
+            }
+        };
+        match err {
+            BddError::ResourceLimit {
+                resource: ResourceKind::Time,
+                ..
+            } => {}
+            other => panic!("expected a time limit, got {other:?}"),
+        }
+        check(&m);
+        // The deadline also aborts mid-operation on a non-empty manager,
+        // again leaving the invariants intact.
+        let mut m = BddManager::new(16);
+        let vs: Vec<BddRef> = (0..16).map(|i| m.var(i).unwrap()).collect();
+        let f = m.and_all(&vs[..8]).unwrap();
+        m.protect(f);
+        let mut m = m.with_time_limit(Duration::ZERO);
+        let err = m.and_all(&vs).expect_err("deadline expired");
+        assert!(matches!(
+            err,
+            BddError::ResourceLimit {
+                resource: ResourceKind::Time,
+                ..
+            }
+        ));
+        check(&m);
+        // Surviving BDDs stay usable for read-only queries.
+        assert!(m.eval(f, &[true; 16]));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let mut m = BddManager::new(8).with_time_limit(Duration::from_secs(3600));
+        let vs: Vec<BddRef> = (0..8).map(|i| m.var(i).unwrap()).collect();
+        let f = m.and_all(&vs).unwrap();
+        assert_ne!(f, BddRef::FALSE);
+        check(&m);
+    }
+
+    #[test]
+    fn support_union_is_the_conjunction_support() {
+        let mut m = BddManager::new(6);
+        let x = m.var(0).unwrap();
+        let y = m.var(2).unwrap();
+        let z = m.var(4).unwrap();
+        let f = m.xor(x, y).unwrap();
+        let g = m.and(y, z).unwrap();
+        assert_eq!(m.support_union(&[f, g]), vec![0, 2, 4]);
+        let conj = m.and(f, g).unwrap();
+        assert_eq!(m.support_union(&[f, g]), m.support(conj));
+        assert!(m.support_union(&[]).is_empty());
+        assert!(m.support_union(&[BddRef::TRUE, BddRef::FALSE]).is_empty());
+    }
+
+    #[test]
+    fn interned_cubes_drive_and_exists() {
+        let mut m = BddManager::new(4);
+        let x = m.var(0).unwrap();
+        let y = m.var(1).unwrap();
+        let z = m.var(2).unwrap();
+        let f = m.xor(x, y).unwrap();
+        let g = m.xnor(y, z).unwrap();
+        // Out-of-range variables are dropped; duplicates collapse.
+        let cube = m.cube(&[1, 1, 9]);
+        assert_eq!(m.cube_vars(cube), &[1]);
+        assert_eq!(m.cube(&[9, 1]), cube, "interning is idempotent");
+        let fused = m.and_exists_cube(f, g, cube).unwrap();
+        assert_eq!(fused, m.and_exists(f, g, &[1]).unwrap());
+        let empty = m.cube(&[]);
+        let plain = m.and_exists_cube(f, g, empty).unwrap();
+        assert_eq!(plain, m.and(f, g).unwrap());
+        check(&m);
     }
 
     #[test]

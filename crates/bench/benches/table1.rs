@@ -24,10 +24,7 @@ fn bench_table1(c: &mut Criterion) {
                 check_equivalence_smv(
                     &fig.netlist,
                     &retimed,
-                    SmvOptions {
-                        node_limit: 200_000,
-                        max_iterations: 10_000,
-                    },
+                    SmvOptions::default().with_node_limit(200_000),
                 )
             })
         });

@@ -1,0 +1,65 @@
+//! Probes one Table-II benchmark with one van Eijk configuration and
+//! prints the full verification result, including the post-GC peak-live
+//! node count that the table renderers omit — the tool behind the
+//! EXPERIMENTS.md partitioning ablation.
+//!
+//! Usage:
+//!   cargo run --release -p hash-bench --example partition_probe -- \
+//!     s641 [--partitioned] [--cluster-limit N] [--no-reorder] \
+//!     [--node-limit N] [--time-limit SECONDS] [--plus]
+use hash_bench::{cli, table2};
+use hash_circuits::iwls::{generate, table2_benchmarks};
+use hash_equiv::prelude::*;
+use hash_retiming::prelude::*;
+use std::time::Duration;
+
+const VALUE_FLAGS: &[&str] = &["--node-limit", "--cluster-limit", "--time-limit"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = cli::positional(&args, VALUE_FLAGS)
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "s641".to_string());
+    let suite = table2_benchmarks();
+    let Some(benchmark) = suite.iter().find(|b| b.name == name) else {
+        eprintln!(
+            "unknown benchmark {name}; have: {}",
+            suite.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let mut options = table2::default_options();
+    if let Some(n) = cli::opt_value(&args, "--node-limit").and_then(|s| s.parse().ok()) {
+        options = options.with_node_limit(n);
+    }
+    if cli::flag(&args, "--no-reorder") {
+        options = options.with_reorder(false);
+    }
+    if let Some(secs) = cli::opt_value(&args, "--time-limit")
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s >= 0.0)
+    {
+        options = options.with_time_limit(Duration::from_secs_f64(secs));
+    }
+    let cluster_limit = cli::opt_value(&args, "--cluster-limit")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(table2::default_cluster_limit);
+    if cli::flag(&args, "--partitioned") || cli::flag(&args, "--cluster-limit") {
+        options = options.partitioned(cluster_limit);
+    }
+
+    let netlist = generate(benchmark);
+    let cut = maximal_forward_cut(&netlist);
+    let retimed = forward_retime(&netlist, &cut).expect("benchmark is retimable");
+    let result = if cli::flag(&args, "--plus") {
+        check_equivalence_eijk_plus(&netlist, &retimed, options)
+    } else {
+        check_equivalence_eijk(&netlist, &retimed, options)
+    };
+    println!(
+        "{name} (partition {:?}, reorder {}, node limit {}): {result}",
+        options.partition, options.reorder, options.node_limit
+    );
+}

@@ -1,18 +1,20 @@
 //! CI perf-smoke check: re-runs the HASH columns of Table I (Figure-2
-//! sweep) and Table II (IWLS'91-style suite) — best of three runs per
-//! entry, to shave scheduler noise — and fails if any entry regresses past
-//! 10× the value recorded in the committed `BENCH_table1.json` /
-//! `BENCH_table2.json` snapshots, with a 25 ms absolute floor so the
-//! sub-millisecond entries cannot flake on a loaded CI machine (for those
-//! rows the effective gate is "slower than 25 ms", still far below any
-//! real state-space-traversal regression).
+//! sweep) and Table II (IWLS'91-style suite), plus one *partitioned* van
+//! Eijk Table II entry (s344, against the snapshot's `eijk_part` column)
+//! — best of three runs per entry, to shave scheduler noise — and fails if
+//! any entry regresses past 10× the value recorded in the committed
+//! `BENCH_table1.json` / `BENCH_table2.json` snapshots, with a 25 ms
+//! absolute floor so the sub-millisecond entries cannot flake on a loaded
+//! CI machine (for those rows the effective gate is "slower than 25 ms",
+//! still far below any real state-space-traversal regression).
 //!
 //! Usage: `cargo run --release -p hash-bench --bin perf_smoke
 //!         [--snapshot PATH] [--table2-snapshot PATH]`
-use hash_bench::cli;
+use hash_bench::{cli, table2};
 use hash_circuits::figure2::Figure2;
 use hash_circuits::iwls::{generate, table2_benchmarks};
 use hash_core::prelude::*;
+use hash_equiv::prelude::*;
 use hash_retiming::prelude::*;
 use std::time::Instant;
 
@@ -35,10 +37,10 @@ struct Recorded {
     status: String,
 }
 
-/// Extracts the HASH column from a snapshot. Snapshots are emitted one row
-/// per line by `table1 --json` / `table2 --json`, so a line-oriented scan
-/// is enough — no JSON library needed (the container is offline).
-fn parse_snapshot(text: &str, label_key: &str) -> Vec<Recorded> {
+/// Extracts one timing column from a snapshot. Snapshots are emitted one
+/// row per line by `table1 --json` / `table2 --json`, so a line-oriented
+/// scan is enough — no JSON library needed (the container is offline).
+fn parse_snapshot(text: &str, label_key: &str, column_key: &str) -> Vec<Recorded> {
     let mut rows = Vec::new();
     for line in text.lines() {
         let Some(rest) = line.split(label_key).nth(1) else {
@@ -54,7 +56,7 @@ fn parse_snapshot(text: &str, label_key: &str) -> Vec<Recorded> {
                 .unwrap_or(rest.len());
             rest[..end].to_string()
         };
-        let Some(hash_part) = line.split("\"hash\": {").nth(1) else {
+        let Some(hash_part) = line.split(column_key).nth(1) else {
             continue;
         };
         let Some(seconds) = field(hash_part, "\"seconds\": ") else {
@@ -87,7 +89,7 @@ fn field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn read_snapshot(path: &str, label_key: &str) -> Vec<Recorded> {
+fn read_snapshot(path: &str, label_key: &str, column_key: &str) -> Vec<Recorded> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -95,7 +97,7 @@ fn read_snapshot(path: &str, label_key: &str) -> Vec<Recorded> {
             std::process::exit(2);
         }
     };
-    let recorded = parse_snapshot(&text, label_key);
+    let recorded = parse_snapshot(&text, label_key, column_key);
     if recorded.is_empty() {
         eprintln!("perf_smoke: no rows found in {path}");
         std::process::exit(2);
@@ -144,7 +146,7 @@ fn main() {
     let mut hash_engine = Hash::new().expect("theories install");
     println!("Table I HASH column (label = bit width)");
     println!("n\trecorded\tcurrent\tlimit\tverdict");
-    for row in read_snapshot(&t1_path, "\"n\": ") {
+    for row in read_snapshot(&t1_path, "\"n\": ", "\"hash\": {") {
         let n: u32 = match row.label.parse() {
             Ok(n) => n,
             Err(_) => continue,
@@ -165,7 +167,7 @@ fn main() {
     println!("Table II HASH column (label = benchmark)");
     println!("name\trecorded\tcurrent\tlimit\tverdict");
     let suite = table2_benchmarks();
-    for row in read_snapshot(&t2_path, "\"name\": \"") {
+    for row in read_snapshot(&t2_path, "\"name\": \"", "\"hash\": {") {
         let Some(benchmark) = suite.iter().find(|b| b.name == row.label) else {
             eprintln!("perf_smoke: unknown benchmark {} in snapshot", row.label);
             failures += 1;
@@ -178,6 +180,37 @@ fn main() {
                 .formal_retime(&netlist, &cut, RetimeOptions::default())
                 .map(|_| ())
                 .map_err(|_| ())
+        });
+        failures += failed as usize;
+    }
+
+    // Table II partitioned van Eijk: one entry (s344) re-run against the
+    // snapshot's `eijk_part` column, under the same best-of-3 / 10x / 25 ms
+    // policy — the partitioned image engine is the one van Eijk path CI
+    // gates (the monolithic columns' cost is the point of the experiment,
+    // not a regression signal).
+    println!("Table II partitioned Eijk entry (label = benchmark)");
+    println!("name\trecorded\tcurrent\tlimit\tverdict");
+    let eijk_opts = table2::default_options().partitioned(table2::default_cluster_limit());
+    for row in read_snapshot(&t2_path, "\"name\": \"", "\"eijk_part\": {")
+        .into_iter()
+        .filter(|r| r.label == "s344")
+    {
+        let Some(benchmark) = suite.iter().find(|b| b.name == row.label) else {
+            eprintln!("perf_smoke: unknown benchmark {} in snapshot", row.label);
+            failures += 1;
+            continue;
+        };
+        let netlist = generate(benchmark);
+        let cut = maximal_forward_cut(&netlist);
+        let retimed = forward_retime(&netlist, &cut).expect("benchmark is retimable");
+        let failed = check_entry(&row, || {
+            let r = check_equivalence_eijk(&netlist, &retimed, eijk_opts);
+            if r.verdict.is_equivalent() {
+                Ok(())
+            } else {
+                Err(())
+            }
         });
         failures += failed as usize;
     }

@@ -1,16 +1,31 @@
 //! Regenerates Table II of the paper: IWLS'91-style benchmarks compared
-//! across Eijk, Eijk+, SIS and HASH.
+//! across Eijk, Eijk+, partitioned Eijk, SIS and HASH.
 //!
 //! The van Eijk limits are configurable: `--node-limit N` (a *live*-node
 //! budget since the BDD engine garbage collects), `--max-iterations N`,
 //! `--max-refinements N`, and `--no-reorder` disables sifting dynamic
 //! variable reordering (PR 1's open item was that a too-small node limit
 //! made every Eijk entry blow up; see EXPERIMENTS.md for the sweep).
-//! `--json` emits the machine-readable snapshot. A positional number is
-//! still accepted as the node limit for backwards compatibility.
+//! `--time-limit SECONDS` arms a wall-clock deadline per van Eijk run
+//! (checked in the BDD node constructor, reported as a dash like the other
+//! resource limits). `--partitioned` switches the `Eijk`/`Eijk+` columns
+//! to the clustered transition relation with early quantification and
+//! `--cluster-limit N` sets the cluster-size bound (passing it implies
+//! `--partitioned`); the `EijkP` column always reports the partitioned
+//! basic checker — at the default cluster limit on a default run — so one
+//! pass records the monolithic-vs-partitioned ablation. `--json` emits the
+//! machine-readable snapshot. A positional number is still accepted as the
+//! node limit for backwards compatibility.
 use hash_bench::{cli, table2};
+use std::time::Duration;
 
-const VALUE_FLAGS: &[&str] = &["--node-limit", "--max-iterations", "--max-refinements"];
+const VALUE_FLAGS: &[&str] = &[
+    "--node-limit",
+    "--max-iterations",
+    "--max-refinements",
+    "--cluster-limit",
+    "--time-limit",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,14 +48,31 @@ fn main() {
     if cli::flag(&args, "--no-reorder") {
         options = options.with_reorder(false);
     }
+    if let Some(secs) = cli::opt_value(&args, "--time-limit")
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s >= 0.0)
+    {
+        options = options.with_time_limit(Duration::from_secs_f64(secs));
+    }
+    let cluster_limit = cli::opt_value(&args, "--cluster-limit")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(table2::default_cluster_limit);
+    if cli::flag(&args, "--partitioned") || cli::flag(&args, "--cluster-limit") {
+        options = options.partitioned(cluster_limit);
+    }
     let rows = table2::run_with(options);
     if cli::flag(&args, "--json") {
         print!("{}", table2::render_json(&rows, &options));
     } else {
         println!(
             "Table II — IWLS'91-style benchmarks (times in seconds, '-' = blow-up; \
-             Eijk node limit {}, max {} iterations)",
-            options.node_limit, options.max_iterations
+             Eijk node limit {}, max {} iterations{})",
+            options.node_limit,
+            options.max_iterations,
+            match options.partition {
+                Some(limit) => format!(", partitioned at cluster limit {limit}"),
+                None => String::new(),
+            }
         );
         print!("{}", table2::render(&rows));
     }

@@ -193,10 +193,7 @@ pub mod table1 {
                 let smv = timing_of(&check_equivalence_smv(
                     &fig.netlist,
                     &retimed,
-                    SmvOptions {
-                        node_limit,
-                        max_iterations: 10_000,
-                    },
+                    SmvOptions::default().with_node_limit(node_limit),
                 ));
                 let start = Instant::now();
                 let hash = match hash_engine.formal_retime(
@@ -283,10 +280,21 @@ pub mod table2 {
         pub eijk: Timing,
         /// Van Eijk's checker exploiting register correspondences.
         pub eijk_plus: Timing,
+        /// Van Eijk's basic checker over the partitioned transition
+        /// relation (clustered conjunction + early quantification), at the
+        /// configured cluster limit — the PR 4 ablation column, gated for
+        /// s344 by CI's perf-smoke step.
+        pub eijk_part: Timing,
         /// SIS-style explicit FSM comparison.
         pub sis: Timing,
         /// HASH formal retiming.
         pub hash: Timing,
+    }
+
+    /// The cluster-size bound (in BDD nodes) of the `eijk_part` column and
+    /// of `table2 --partitioned` when `--cluster-limit` is not given.
+    pub fn default_cluster_limit() -> usize {
+        hash_equiv::partition::DEFAULT_CLUSTER_LIMIT
     }
 
     /// The Table-II van Eijk limits. PR 1's open item was a too-small
@@ -310,9 +318,15 @@ pub mod table2 {
     }
 
     /// Runs the Table-II experiment with full control over the van Eijk
-    /// limits.
+    /// limits. The `eijk`/`eijk_plus` columns honour `opts` verbatim
+    /// (including `opts.partition`, set by `table2 --partitioned`); the
+    /// `eijk_part` column always runs the basic checker partitioned at
+    /// `opts.partition`'s limit, or [`default_cluster_limit`] when `opts`
+    /// is monolithic — so a default run records the monolithic-vs-
+    /// partitioned ablation in one pass.
     pub fn run_with(opts: EijkOptions) -> Vec<Row> {
         let mut hash_engine = Hash::new().expect("theories install");
+        let part_opts = opts.partitioned(opts.partition.unwrap_or_else(default_cluster_limit));
         table2_benchmarks()
             .iter()
             .map(|b| {
@@ -323,6 +337,14 @@ pub mod table2 {
 
                 let eijk = timing_of(&check_equivalence_eijk(&netlist, &retimed, opts));
                 let eijk_plus = timing_of(&check_equivalence_eijk_plus(&netlist, &retimed, opts));
+                // Under --partitioned at the same cluster limit the Eijk
+                // and EijkP configurations coincide; reuse the run instead
+                // of traversing (or blowing up) a second time.
+                let eijk_part = if opts.partition == part_opts.partition {
+                    eijk.clone()
+                } else {
+                    timing_of(&check_equivalence_eijk(&netlist, &retimed, part_opts))
+                };
                 let sis = timing_of(&check_equivalence_sis(
                     &netlist,
                     &retimed,
@@ -346,6 +368,7 @@ pub mod table2 {
                     gates: st.gate_estimate,
                     eijk,
                     eijk_plus,
+                    eijk_part,
                     sis,
                     hash,
                 }
@@ -362,16 +385,22 @@ pub mod table2 {
             "  \"node_limit\": {}, \"max_iterations\": {}, \"max_refinements\": {}, \"reorder\": {},\n",
             options.node_limit, options.max_iterations, options.max_refinements, options.reorder
         ));
+        out.push_str(&format!(
+            "  \"partitioned\": {}, \"cluster_limit\": {},\n",
+            options.partition.is_some(),
+            options.partition.unwrap_or_else(default_cluster_limit)
+        ));
         out.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {
             let comma = if i + 1 == rows.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"flip_flops\": {}, \"gates\": {}, \"eijk\": {}, \"eijk_plus\": {}, \"sis\": {}, \"hash\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"flip_flops\": {}, \"gates\": {}, \"eijk\": {}, \"eijk_plus\": {}, \"eijk_part\": {}, \"sis\": {}, \"hash\": {}}}{}\n",
                 crate::json::esc(&r.name),
                 r.flip_flops,
                 r.gates,
                 r.eijk.to_json(),
                 r.eijk_plus.to_json(),
+                r.eijk_part.to_json(),
                 r.sis.to_json(),
                 r.hash.to_json(),
                 comma
@@ -381,17 +410,19 @@ pub mod table2 {
         out
     }
 
-    /// Formats the rows like the paper's Table II.
+    /// Formats the rows like the paper's Table II (`EijkP` is the
+    /// partitioned-relation ablation column, not in the original table).
     pub fn render(rows: &[Row]) -> String {
-        let mut out = String::from("name\tflipflops\tgates\tEijk\tEijk+\tSIS\tHASH\n");
+        let mut out = String::from("name\tflipflops\tgates\tEijk\tEijk+\tEijkP\tSIS\tHASH\n");
         for r in rows {
             out.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 r.name,
                 r.flip_flops,
                 r.gates,
                 r.eijk.render(),
                 r.eijk_plus.render(),
+                r.eijk_part.render(),
                 r.sis.render(),
                 r.hash.render()
             ));
@@ -428,10 +459,9 @@ pub mod scaling {
                 let smv = timing_of(&check_equivalence_smv(
                     &m,
                     &retimed,
-                    SmvOptions {
-                        node_limit,
-                        max_iterations: 2_000,
-                    },
+                    SmvOptions::default()
+                        .with_node_limit(node_limit)
+                        .with_max_iterations(2_000),
                 ));
                 let start = Instant::now();
                 let hash = match hash_engine.formal_retime(&m, &cut, RetimeOptions::default()) {

@@ -21,23 +21,23 @@ use std::time::Instant;
 pub fn check_combinational(a: &Netlist, b: &Netlist, node_limit: usize) -> VerificationResult {
     let start = Instant::now();
     match run(a, b, node_limit) {
-        Ok(verdict) => {
-            VerificationResult::new("tautology", verdict, start.elapsed(), 1, node_limit.min(1))
+        Ok((verdict, peak_live, alloc)) => {
+            VerificationResult::new("tautology", verdict, start.elapsed(), 1, alloc)
+                .with_peak_live(peak_live)
         }
-        Err(e) if is_resource_limit(&e) => VerificationResult::new(
-            "tautology",
-            Verdict::ResourceLimit,
-            start.elapsed(),
-            1,
-            node_limit,
-        ),
+        Err(e) if is_resource_limit(&e) => {
+            VerificationResult::resource_limit("tautology", start.elapsed(), node_limit, &e)
+        }
         Err(_) => {
             VerificationResult::new("tautology", Verdict::Inconclusive, start.elapsed(), 1, 0)
         }
     }
 }
 
-fn run(a: &Netlist, b: &Netlist, node_limit: usize) -> Result<Verdict> {
+/// Returns (verdict, post-GC peak-live nodes, allocated node slots): like
+/// the traversal-based methods, the single-pass check reports its honest
+/// post-build memory footprint through a GC checkpoint.
+fn run(a: &Netlist, b: &Netlist, node_limit: usize) -> Result<(Verdict, usize, usize)> {
     let ga = bit_blast(a)?.netlist;
     let gb = bit_blast(b)?.netlist;
     if ga.registers().len() != gb.registers().len() {
@@ -50,6 +50,10 @@ fn run(a: &Netlist, b: &Netlist, node_limit: usize) -> Result<Verdict> {
         });
     }
     let mut pm = ProductMachine::build(&ga, &gb, node_limit)?;
+    // Peak-live parity with the traversal-based checkers: the post-build
+    // GC checkpoint is the honest footprint of the comparison structures
+    // (comparisons below only add short-lived composition intermediates).
+    let mut peak = pm.live_checkpoint();
     // Identify the state variables of both circuits pairwise (same state
     // representation) and compare outputs and next-state functions.
     let half = ga.registers().len();
@@ -58,22 +62,28 @@ fn run(a: &Netlist, b: &Netlist, node_limit: usize) -> Result<Verdict> {
         let rep = pm.manager.var(pm.state_vars[i])?;
         subs.push((pm.state_vars[half + i], rep));
     }
+    let mut verdict = Verdict::Equivalent;
     for (fa, fb) in pm.outputs_a.clone().iter().zip(pm.outputs_b.clone().iter()) {
         let fb_sub = pm.manager.compose_many(*fb, &subs)?;
         if *fa != fb_sub {
-            return Ok(Verdict::NotEquivalent);
+            verdict = Verdict::NotEquivalent;
+            break;
         }
     }
-    let (next_a, next_b) = pm.next_fns.split_at(half);
-    let next_a = next_a.to_vec();
-    let next_b = next_b.to_vec();
-    for (fa, fb) in next_a.iter().zip(next_b.iter()) {
-        let fb_sub = pm.manager.compose_many(*fb, &subs)?;
-        if *fa != fb_sub {
-            return Ok(Verdict::NotEquivalent);
+    if verdict == Verdict::Equivalent {
+        let (next_a, next_b) = pm.next_fns.split_at(half);
+        let next_a = next_a.to_vec();
+        let next_b = next_b.to_vec();
+        for (fa, fb) in next_a.iter().zip(next_b.iter()) {
+            let fb_sub = pm.manager.compose_many(*fb, &subs)?;
+            if *fa != fb_sub {
+                verdict = Verdict::NotEquivalent;
+                break;
+            }
         }
     }
-    Ok(Verdict::Equivalent)
+    peak = peak.max(pm.live_checkpoint());
+    Ok((verdict, peak, pm.manager.stats().allocated_slots))
 }
 
 #[cfg(test)]
@@ -88,6 +98,37 @@ mod tests {
         let b = Figure2::new(4);
         let r = check_combinational(&a.netlist, &b.netlist, 1 << 20);
         assert_eq!(r.verdict, Verdict::Equivalent, "{r}");
+    }
+
+    #[test]
+    fn peak_live_is_reported_on_every_verdict_path() {
+        // Equivalent path.
+        let a = Figure2::new(3);
+        let b = Figure2::new(3);
+        let r = check_combinational(&a.netlist, &b.netlist, 1 << 20);
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        let peak = r.peak_live.expect("tautology reports peak-live");
+        assert!(peak > 1, "the comparison holds live nodes");
+        assert!(r.peak_size >= peak, "allocated slots bound the live peak");
+
+        // NotEquivalent path.
+        let mut c = Netlist::new("c");
+        let x = c.add_input("x", 3);
+        let y = c.not(x, "y").unwrap();
+        c.mark_output(y);
+        let mut d = Netlist::new("d");
+        let x2 = d.add_input("x", 3);
+        d.mark_output(x2);
+        let ne = check_combinational(&c, &d, 1 << 20);
+        assert_eq!(ne.verdict, Verdict::NotEquivalent);
+        assert!(ne.peak_live.is_some(), "peak-live on the refutation path");
+
+        // Node-budget blow-up path: the shared resource_limit report pins
+        // peak_live to the exhausted budget.
+        let big = Figure2::new(16);
+        let lim = check_combinational(&big.netlist, &big.netlist, 10);
+        assert_eq!(lim.verdict, Verdict::ResourceLimit);
+        assert_eq!(lim.peak_live, Some(10));
     }
 
     #[test]

@@ -21,11 +21,12 @@
 
 use crate::error::{is_resource_limit, EquivError};
 use crate::machine::ProductMachine;
+use crate::partition::{PartitionSpec, PartitionedTransition};
 use crate::result::{Verdict, VerificationResult};
 use hash_bdd::BddRef;
 use hash_netlist::gate::bit_blast;
 use hash_netlist::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration shared by both van Eijk variants.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +41,22 @@ pub struct EijkOptions {
     pub max_refinements: usize,
     /// Whether sifting-based dynamic variable reordering is enabled.
     pub reorder: bool,
+    /// `Some(cluster_limit)` switches image computation to the
+    /// conjunctively partitioned transition relation with early
+    /// quantification (see [`crate::partition`]); `None` (the default)
+    /// keeps the monolithic relation, which remains the reference
+    /// semantics.
+    pub partition: Option<usize>,
+    /// An optional wall-clock budget for the whole run (machine build plus
+    /// traversal), checked in the BDD node constructor and reported as a
+    /// [`Verdict::ResourceLimit`] of kind [`hash_bdd::ResourceKind::Time`].
+    pub time_limit: Option<Duration>,
+    /// Sample the post-GC live-node count only every this many traversal
+    /// steps (the default 1 keeps the historical every-step behaviour).
+    /// A collection clears the op cache, so long thin traversals run
+    /// faster at k > 1 — at the price of a coarser `peak_live`, which can
+    /// only under-report relative to k = 1 (a sample subset).
+    pub gc_interval: usize,
 }
 
 impl Default for EijkOptions {
@@ -49,6 +66,9 @@ impl Default for EijkOptions {
             max_iterations: 10_000,
             max_refinements: 64,
             reorder: true,
+            partition: None,
+            time_limit: None,
+            gc_interval: 1,
         }
     }
 }
@@ -63,7 +83,7 @@ impl EijkOptions {
             node_limit,
             max_iterations,
             max_refinements,
-            reorder: true,
+            ..EijkOptions::default()
         }
     }
 
@@ -88,6 +108,33 @@ impl EijkOptions {
     /// Replaces the correspondence-refinement limit.
     pub fn with_max_refinements(mut self, max_refinements: usize) -> EijkOptions {
         self.max_refinements = max_refinements;
+        self
+    }
+
+    /// Enables partitioned image computation with the given cluster-size
+    /// bound in BDD nodes ([`crate::partition::DEFAULT_CLUSTER_LIMIT`] is
+    /// the harness default; `usize::MAX` degenerates to the monolithic
+    /// relation computed through the partitioned engine).
+    pub fn partitioned(mut self, cluster_limit: usize) -> EijkOptions {
+        self.partition = Some(cluster_limit);
+        self
+    }
+
+    /// Restores the default monolithic transition relation.
+    pub fn monolithic(mut self) -> EijkOptions {
+        self.partition = None;
+        self
+    }
+
+    /// Sets a wall-clock budget for the run.
+    pub fn with_time_limit(mut self, time_limit: Duration) -> EijkOptions {
+        self.time_limit = Some(time_limit);
+        self
+    }
+
+    /// Sets the live-node sampling cadence (clamped to at least 1).
+    pub fn with_gc_interval(mut self, gc_interval: usize) -> EijkOptions {
+        self.gc_interval = gc_interval.max(1);
         self
     }
 }
@@ -200,6 +247,18 @@ fn register_correspondence(
     Ok(class)
 }
 
+/// The image engine of the traversal: the monolithic transition relation
+/// (the reference semantics) or the clustered partition with its
+/// early-quantification schedule.
+enum Relation {
+    Monolithic {
+        transition: BddRef,
+        quantify: Vec<u32>,
+        back_rename: Vec<(u32, u32)>,
+    },
+    Partitioned(PartitionedTransition),
+}
+
 /// Returns (verdict, traversal steps, post-GC peak-live nodes, allocated
 /// node slots of the manager).
 fn run(
@@ -210,7 +269,13 @@ fn run(
 ) -> std::result::Result<(Verdict, usize, usize, usize), EquivError> {
     let ga = bit_blast(a)?.netlist;
     let gb = bit_blast(b)?.netlist;
-    let mut pm = ProductMachine::build_with(&ga, &gb, options.node_limit, options.reorder)?;
+    let mut pm = ProductMachine::build_limited(
+        &ga,
+        &gb,
+        options.node_limit,
+        options.reorder,
+        options.time_limit,
+    )?;
 
     // Correspondence reduction (Eijk+ only): registers proved equivalent by
     // induction are merged, i.e. the non-representative's variable is
@@ -238,14 +303,44 @@ fn run(
     // Transition relation and miter over the reduced state space. Loop
     // state is kept protected (`update_protected`) so the garbage
     // collector only ever reclaims genuinely dead intermediates.
-    let mut transition = pm.manager.constant(true);
-    pm.manager.protect(transition);
-    for &i in &active {
-        let nv = pm.manager.var(pm.next_vars[i])?;
-        let bi = pm.manager.xnor(nv, pm.next_fns[i])?;
-        let next = pm.manager.and(transition, bi)?;
-        pm.manager.update_protected(&mut transition, next);
-    }
+    let relation = if let Some(cluster_limit) = options.partition {
+        let state: Vec<u32> = active.iter().map(|&i| pm.state_vars[i]).collect();
+        let next: Vec<u32> = active.iter().map(|&i| pm.next_vars[i]).collect();
+        let fns: Vec<BddRef> = active.iter().map(|&i| pm.next_fns[i]).collect();
+        Relation::Partitioned(PartitionedTransition::build(
+            &mut pm.manager,
+            &PartitionSpec {
+                state_vars: &state,
+                next_vars: &next,
+                input_vars: &pm.input_vars,
+                next_fns: &fns,
+            },
+            cluster_limit,
+        )?)
+    } else {
+        let mut transition = pm.manager.constant(true);
+        pm.manager.protect(transition);
+        for &i in &active {
+            let nv = pm.manager.var(pm.next_vars[i])?;
+            let bi = pm.manager.xnor(nv, pm.next_fns[i])?;
+            let next = pm.manager.and(transition, bi)?;
+            pm.manager.update_protected(&mut transition, next);
+        }
+        let quantify: Vec<u32> = active
+            .iter()
+            .map(|&i| pm.state_vars[i])
+            .chain(pm.input_vars.iter().copied())
+            .collect();
+        let back_rename: Vec<(u32, u32)> = active
+            .iter()
+            .map(|&i| (pm.next_vars[i], pm.state_vars[i]))
+            .collect();
+        Relation::Monolithic {
+            transition,
+            quantify,
+            back_rename,
+        }
+    };
     let mut miter = pm.manager.constant(false);
     pm.manager.protect(miter);
     for (fa, fb) in pm.outputs_a.clone().iter().zip(pm.outputs_b.clone().iter()) {
@@ -266,16 +361,8 @@ fn run(
     }
     let mut frontier = reached;
     pm.manager.protect(frontier);
-    let quantify: Vec<u32> = active
-        .iter()
-        .map(|&i| pm.state_vars[i])
-        .chain(pm.input_vars.iter().copied())
-        .collect();
-    let back_rename: Vec<(u32, u32)> = active
-        .iter()
-        .map(|&i| (pm.next_vars[i], pm.state_vars[i]))
-        .collect();
     let mut peak = pm.live_checkpoint();
+    let gc_interval = options.gc_interval.max(1);
 
     for step in 1..=options.max_iterations {
         let bad = pm.manager.and(reached, miter)?;
@@ -283,8 +370,17 @@ fn run(
             let alloc = pm.manager.stats().allocated_slots;
             return Ok((Verdict::NotEquivalent, step, peak, alloc));
         }
-        let img_next = pm.manager.and_exists(frontier, transition, &quantify)?;
-        let image = pm.manager.rename(img_next, &back_rename)?;
+        let image = match &relation {
+            Relation::Monolithic {
+                transition,
+                quantify,
+                back_rename,
+            } => {
+                let img_next = pm.manager.and_exists(frontier, *transition, quantify)?;
+                pm.manager.rename(img_next, back_rename)?
+            }
+            Relation::Partitioned(pt) => pt.image(&mut pm.manager, frontier)?,
+        };
         let not_reached = pm.manager.not(reached);
         let new_states = pm.manager.and(image, not_reached)?;
         if new_states == BddRef::FALSE {
@@ -296,8 +392,13 @@ fn run(
         pm.manager.update_protected(&mut reached, grown);
         pm.manager.update_protected(&mut frontier, new_states);
         // Live accounting: collect dead traversal intermediates, then
-        // sample — `peak` is the post-GC live-node high-water mark.
-        peak = peak.max(pm.live_checkpoint());
+        // sample — `peak` is the post-GC live-node high-water mark. At a
+        // sampling cadence k > 1 intermediate steps skip the collection
+        // (keeping the op cache warm); the sampled steps are a subset of
+        // the k = 1 samples, so `peak` can only under-report vs. k = 1.
+        if step % gc_interval == 0 {
+            peak = peak.max(pm.live_checkpoint());
+        }
     }
     let alloc = pm.manager.stats().allocated_slots;
     Ok((Verdict::Inconclusive, options.max_iterations, peak, alloc))
@@ -355,15 +456,91 @@ mod tests {
             .with_node_limit(123)
             .with_max_iterations(45)
             .with_max_refinements(6)
-            .with_reorder(false);
+            .with_reorder(false)
+            .partitioned(789)
+            .with_time_limit(Duration::from_secs(7))
+            .with_gc_interval(0);
         assert_eq!(o.node_limit, 123);
         assert_eq!(o.max_iterations, 45);
         assert_eq!(o.max_refinements, 6);
         assert!(!o.reorder);
+        assert_eq!(o.partition, Some(789));
+        assert_eq!(o.time_limit, Some(Duration::from_secs(7)));
+        assert_eq!(o.gc_interval, 1, "cadence clamps to at least 1");
+        assert_eq!(o.monolithic().partition, None);
         let n = EijkOptions::new(1, 2, 3);
         assert_eq!(
             (n.node_limit, n.max_iterations, n.max_refinements, n.reorder),
             (1, 2, 3, true)
+        );
+        assert_eq!(
+            (n.partition, n.time_limit, n.gc_interval),
+            (None, None, 1),
+            "monolithic every-step defaults"
+        );
+    }
+
+    #[test]
+    fn partitioned_traversal_agrees_with_monolithic() {
+        let fig = Figure2::new(3);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        let mono = check_equivalence_eijk(&fig.netlist, &retimed, EijkOptions::default());
+        for cluster_limit in [1, crate::partition::DEFAULT_CLUSTER_LIMIT, usize::MAX] {
+            let part = check_equivalence_eijk(
+                &fig.netlist,
+                &retimed,
+                EijkOptions::default().partitioned(cluster_limit),
+            );
+            assert_eq!(part.verdict, Verdict::Equivalent, "{part}");
+            assert_eq!(
+                part.iterations, mono.iterations,
+                "same fixpoint depth at cluster limit {cluster_limit}"
+            );
+        }
+        // Eijk+ (partitioned over the correspondence-reduced state space)
+        // still proves the identical-copy case.
+        let copy = Figure2::new(3);
+        let plus = check_equivalence_eijk_plus(
+            &fig.netlist,
+            &copy.netlist,
+            EijkOptions::default().partitioned(64),
+        );
+        assert_eq!(plus.verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    fn expired_time_limit_reports_resource_limit() {
+        let fig = Figure2::new(3);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        let r = check_equivalence_eijk(
+            &fig.netlist,
+            &retimed,
+            EijkOptions::default().with_time_limit(Duration::ZERO),
+        );
+        assert_eq!(r.verdict, Verdict::ResourceLimit, "{r}");
+        // A time blow-up says nothing about memory, so peak_live stays
+        // unset (unlike a node-budget blow-up).
+        assert_eq!(r.peak_live, None);
+    }
+
+    #[test]
+    fn gc_sampling_cadence_is_monotone_consistent() {
+        // With reordering off, the live set at any traversal step is
+        // independent of the sampling cadence, and the k = 4 samples are a
+        // subset of the k = 1 samples: same verdict, same step count, and
+        // peak(k=4) ≤ peak(k=1).
+        let fig = Figure2::new(4);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        let base = EijkOptions::default().with_reorder(false);
+        let k1 = check_equivalence_eijk(&fig.netlist, &retimed, base.with_gc_interval(1));
+        let k4 = check_equivalence_eijk(&fig.netlist, &retimed, base.with_gc_interval(4));
+        assert_eq!(k1.verdict, Verdict::Equivalent);
+        assert_eq!(k4.verdict, k1.verdict);
+        assert_eq!(k4.iterations, k1.iterations);
+        let (p1, p4) = (k1.peak_live.unwrap(), k4.peak_live.unwrap());
+        assert!(
+            p4 <= p1,
+            "subset sampling cannot report a higher peak ({p4} > {p1})"
         );
     }
 

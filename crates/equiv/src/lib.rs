@@ -13,6 +13,13 @@
 //! * [`eijk`] — van Eijk's checker, plain and with register-correspondence /
 //!   functional-dependency exploitation (`Eijk+`).
 //!
+//! The BDD traversals share [`machine`] (the symbolic product machine) and
+//! [`partition`] (conjunctively partitioned transition relations with an
+//! early-quantification schedule, enabled via
+//! [`eijk::EijkOptions::partitioned`] / [`smv::SmvOptions::partition`];
+//! the monolithic relation remains the default and the reference
+//! semantics).
+//!
 //! All methods work on the bit-blasted gate-level form of the circuits
 //! (see [`hash_netlist::gate`]), report wall-clock time, iteration counts
 //! and peak structure sizes, and signal blow-ups as
@@ -42,6 +49,7 @@ pub mod comb;
 pub mod eijk;
 pub mod error;
 pub mod machine;
+pub mod partition;
 pub mod result;
 pub mod sis;
 pub mod smv;
@@ -52,6 +60,7 @@ pub mod prelude {
     pub use crate::eijk::{check_equivalence_eijk, check_equivalence_eijk_plus, EijkOptions};
     pub use crate::error::{EquivError, Result};
     pub use crate::machine::ProductMachine;
+    pub use crate::partition::{PartitionSpec, PartitionedTransition, DEFAULT_CLUSTER_LIMIT};
     pub use crate::result::{Verdict, VerificationResult};
     pub use crate::sis::{check_equivalence_sis, SisOptions};
     pub use crate::smv::{check_equivalence_smv, SmvOptions};

@@ -8,9 +8,11 @@
 //! bit-blasted netlists of [`hash_netlist::gate`].
 
 use crate::error::{EquivError, Result};
+use crate::partition::{PartitionSpec, PartitionedTransition};
 use hash_bdd::{BddManager, BddRef};
 use hash_netlist::prelude::*;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// A symbolic product machine of two gate-level circuits with a shared
 /// input alphabet.
@@ -170,6 +172,25 @@ impl ProductMachine {
         node_limit: usize,
         dynamic_reordering: bool,
     ) -> Result<ProductMachine> {
+        ProductMachine::build_limited(a, b, node_limit, dynamic_reordering, None)
+    }
+
+    /// [`ProductMachine::build_with`] plus an optional wall-clock budget:
+    /// the deadline starts counting here (manager creation) and is checked
+    /// in the BDD node constructor, so both the machine build and every
+    /// later traversal step can abort with
+    /// [`hash_bdd::ResourceKind::Time`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ProductMachine::build`], plus the time budget.
+    pub fn build_limited(
+        a: &Netlist,
+        b: &Netlist,
+        node_limit: usize,
+        dynamic_reordering: bool,
+        time_limit: Option<Duration>,
+    ) -> Result<ProductMachine> {
         if a.inputs().len() != b.inputs().len() {
             return Err(EquivError::InterfaceMismatch {
                 message: format!(
@@ -200,6 +221,9 @@ impl ProductMachine {
         let mut manager = BddManager::new(num_inputs + 2 * num_state)
             .with_node_limit(node_limit)
             .with_dynamic_reordering(dynamic_reordering);
+        if let Some(limit) = time_limit {
+            manager = manager.with_time_limit(limit);
+        }
         let input_vars: Vec<u32> = (0..num_inputs).collect();
         let state_vars: Vec<u32> = (0..num_state).map(|i| num_inputs + 2 * i).collect();
         let next_vars: Vec<u32> = (0..num_state).map(|i| num_inputs + 2 * i + 1).collect();
@@ -339,6 +363,31 @@ impl ProductMachine {
         Ok(self.manager.rename(img_next, &rename)?)
     }
 
+    /// Builds the conjunctively partitioned transition relation of the
+    /// whole machine (size-bounded clustering plus early-quantification
+    /// schedule; see [`crate::partition`]). The clusters are protected in
+    /// the machine's manager; release them with
+    /// [`PartitionedTransition::release`] or drop the machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a resource limit.
+    pub fn partitioned_transition(
+        &mut self,
+        cluster_limit: usize,
+    ) -> Result<PartitionedTransition> {
+        PartitionedTransition::build(
+            &mut self.manager,
+            &PartitionSpec {
+                state_vars: &self.state_vars,
+                next_vars: &self.next_vars,
+                input_vars: &self.input_vars,
+                next_fns: &self.next_fns,
+            },
+            cluster_limit,
+        )
+    }
+
     /// Applies a variable substitution to every machine function (next
     /// state, outputs of A and of B), maintaining the GC-root protection:
     /// the new functions are protected before the old ones are released.
@@ -410,6 +459,40 @@ mod tests {
         let sat = pm.manager.any_sat(img).unwrap();
         assert!(sat[pm.state_vars[0] as usize]);
         assert!(sat[pm.state_vars[1] as usize]);
+    }
+
+    #[test]
+    fn partitioned_image_matches_monolithic_through_the_machine() {
+        let a = bit_blast(&toggler(false)).unwrap().netlist;
+        let b = bit_blast(&toggler(true)).unwrap().netlist;
+        let mut pm = ProductMachine::build(&a, &b, 1 << 20).unwrap();
+        let init = pm.initial_state().unwrap();
+        pm.manager.protect(init);
+        let t = pm.transition_relation().unwrap();
+        pm.manager.protect(t);
+        let mono = pm.image(init, t).unwrap();
+        pm.manager.protect(mono);
+        for limit in [1usize, usize::MAX] {
+            let pt = pm.partitioned_transition(limit).unwrap();
+            let part = pt.image(&mut pm.manager, init).unwrap();
+            assert_eq!(part, mono, "cluster limit {limit}");
+            pt.release(&mut pm.manager);
+        }
+        pm.manager.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn time_limited_build_reports_the_time_budget() {
+        let a = bit_blast(&toggler(false)).unwrap().netlist;
+        let err = ProductMachine::build_limited(&a, &a, 1 << 20, true, Some(Duration::ZERO))
+            .expect_err("expired deadline");
+        assert!(matches!(
+            err,
+            EquivError::Bdd(hash_bdd::BddError::ResourceLimit {
+                resource: hash_bdd::ResourceKind::Time,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! Partitioned transition relations with early quantification.
+//!
+//! The monolithic transition relation `T = ∧ᵢ (next_i ↔ f_i)` that
+//! [`crate::machine::ProductMachine::transition_relation`] builds is the
+//! classic scalability wall of symbolic traversal: the conjunction is often
+//! exponentially larger than any of its conjuncts, and it must be held live
+//! for the whole reachability fixpoint. Burch et al. ("Symbolic model
+//! checking with partitioned transition relations") observed that the image
+//! `∃ V. S ∧ T₁ ∧ … ∧ Tₖ` can instead be computed one conjunct at a time,
+//! existentially quantifying each variable at the *last* conjunct that
+//! mentions it — so most variables disappear long before the full product
+//! is formed and the monolithic relation is never materialised. Ranjan et
+//! al. added size-bounded clustering and quantification-scheduling
+//! heuristics; this module implements that standard recipe on top of the
+//! fused [`hash_bdd::BddManager::and_exists_cube`] relational product:
+//!
+//! * **Clustering.** The per-latch relations `next_i ↔ f_i` are conjoined
+//!   greedily in latch order until the cluster BDD would exceed
+//!   `cluster_limit` nodes, then a new cluster starts (`usize::MAX`
+//!   degenerates to the monolithic relation, a property pinned by the
+//!   differential suite `tests/partition_properties.rs`).
+//! * **Scheduling.** Clusters are ordered by a greedy support heuristic —
+//!   pick next the cluster that retires the most quantifiable variables,
+//!   i.e. variables no *other* remaining cluster mentions, tie-breaking
+//!   towards smaller support — and every quantifiable variable is assigned
+//!   to the step of its last mentioning cluster (variables mentioned by no
+//!   cluster are quantified at step 0, straight out of the state set).
+//! * **Lifetime discipline.** The cluster BDDs are [`protect`]ed for the
+//!   life of the value; every intermediate cluster product is protected
+//!   only across the step that consumes it, so after an [`image`] the
+//!   manager's live-node count returns to its pre-image baseline (also
+//!   pinned by the differential suite). Call [`release`] to drop the
+//!   cluster roots when the traversal is done.
+//!
+//! [`protect`]: hash_bdd::BddManager::protect
+//! [`image`]: PartitionedTransition::image
+//! [`release`]: PartitionedTransition::release
+
+use crate::error::Result;
+use hash_bdd::{BddManager, BddRef, VarCube};
+
+/// Default cluster-size bound (in BDD nodes) used by the Table-II harness
+/// and [`crate::eijk::EijkOptions::partitioned`] callers that do not sweep
+/// the knob. Chosen from the EXPERIMENTS.md ablation: small enough that no
+/// cluster approaches the monolithic blow-up, large enough that the
+/// schedule stays short.
+pub const DEFAULT_CLUSTER_LIMIT: usize = 2_000;
+
+/// Borrowed description of a machine's transition structure, the input to
+/// [`PartitionedTransition::build`]. The three variable slices and
+/// `next_fns` are aligned per latch; `input_vars` are quantified by both
+/// image directions. The van Eijk checker passes the *active* (merged)
+/// subset of the product machine here, the SMV checker the full machine.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionSpec<'a> {
+    /// Current-state variables, one per (active) latch.
+    pub state_vars: &'a [u32],
+    /// Next-state variables, aligned with `state_vars`.
+    pub next_vars: &'a [u32],
+    /// Primary-input variables.
+    pub input_vars: &'a [u32],
+    /// Next-state functions over current-state and input variables,
+    /// aligned with `state_vars`. Must be protected in the manager (they
+    /// are GC roots of the machine).
+    pub next_fns: &'a [BddRef],
+}
+
+/// A conjunctively partitioned transition relation with a precomputed
+/// early-quantification schedule, driving [`image`] and [`pre_image`]
+/// through the fused relational product.
+///
+/// [`image`]: PartitionedTransition::image
+/// [`pre_image`]: PartitionedTransition::pre_image
+#[derive(Debug)]
+pub struct PartitionedTransition {
+    /// Cluster BDDs in schedule order, each protected in the manager.
+    clusters: Vec<BddRef>,
+    /// Per-step quantification cubes of the forward image (current-state
+    /// and input variables, each at its last mentioning cluster).
+    img_cubes: Vec<VarCube>,
+    /// Per-step quantification cubes of the backward image (next-state and
+    /// input variables).
+    pre_cubes: Vec<VarCube>,
+    /// Rename map next → current applied after a forward image.
+    img_rename: Vec<(u32, u32)>,
+    /// Rename map current → next applied before a backward image.
+    pre_rename: Vec<(u32, u32)>,
+}
+
+/// Assigns each quantifiable variable to the last cluster mentioning it
+/// and interns one cube per step. Variables mentioned by no cluster are
+/// quantified at step 0 (their only occurrence can be in the state set).
+fn schedule_cubes(
+    manager: &mut BddManager,
+    supports: &[Vec<u32>],
+    quantify: &[u32],
+) -> Vec<VarCube> {
+    let steps = supports.len();
+    let mut per_step: Vec<Vec<u32>> = vec![Vec::new(); steps];
+    for &v in quantify {
+        let last = supports
+            .iter()
+            .rposition(|s| s.binary_search(&v).is_ok())
+            .unwrap_or(0);
+        per_step[last].push(v);
+    }
+    per_step.iter().map(|vars| manager.cube(vars)).collect()
+}
+
+impl PartitionedTransition {
+    /// Builds the clustered conjunction and its quantification schedules.
+    /// The returned clusters are protected in `manager`; pair with
+    /// [`PartitionedTransition::release`] (or drop the whole manager).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a resource limit; no protections are leaked then.
+    pub fn build(
+        manager: &mut BddManager,
+        spec: &PartitionSpec<'_>,
+        cluster_limit: usize,
+    ) -> Result<PartitionedTransition> {
+        debug_assert_eq!(spec.state_vars.len(), spec.next_fns.len());
+        debug_assert_eq!(spec.next_vars.len(), spec.next_fns.len());
+        let mut clusters: Vec<BddRef> = Vec::new();
+        // Greedy size-bounded clustering over the per-latch relations. The
+        // accumulator and every finished cluster stay protected: building
+        // the next relation may trigger a collection at the node budget.
+        let mut acc = manager.constant(true);
+        manager.protect(acc);
+        let fail = |manager: &mut BddManager, clusters: &[BddRef], acc: BddRef| {
+            for &c in clusters {
+                manager.unprotect(c);
+            }
+            manager.unprotect(acc);
+        };
+        for (&nv, &f) in spec.next_vars.iter().zip(spec.next_fns.iter()) {
+            let relation = manager
+                .var(nv)
+                .and_then(|nvar| manager.xnor(nvar, f))
+                .inspect(|&t| manager.protect(t));
+            let relation = match relation {
+                Ok(t) => t,
+                Err(e) => {
+                    fail(manager, &clusters, acc);
+                    return Err(e.into());
+                }
+            };
+            match manager.and(acc, relation) {
+                Ok(joined) if acc == BddRef::TRUE || manager.size(joined) <= cluster_limit => {
+                    manager.update_protected(&mut acc, joined);
+                    manager.unprotect(relation);
+                }
+                Ok(_) => {
+                    // Conjoining would exceed the bound: finish the current
+                    // cluster and start a new one from this relation alone
+                    // (so a cluster holds at least one conjunct even when
+                    // the bound is smaller than any single relation).
+                    clusters.push(acc);
+                    acc = relation; // transfers the protection
+                }
+                Err(e) => {
+                    manager.unprotect(relation);
+                    fail(manager, &clusters, acc);
+                    return Err(e.into());
+                }
+            }
+        }
+        // The final cluster. A TRUE accumulator is kept only when there are
+        // no clusters at all (latch-free machine): the image loop still
+        // needs one step to quantify the state set's own variables.
+        if acc != BddRef::TRUE || clusters.is_empty() {
+            clusters.push(acc);
+        } else {
+            manager.unprotect(acc);
+        }
+
+        // Quantification schedule. The cluster order is chosen for the
+        // forward image (the direction the traversals run); the backward
+        // schedule reuses the order but recomputes last occurrences over
+        // the next-state variables.
+        let mut quantify_img: Vec<u32> = spec.state_vars.to_vec();
+        quantify_img.extend_from_slice(spec.input_vars);
+        let supports: Vec<Vec<u32>> = clusters.iter().map(|&c| manager.support(c)).collect();
+        let order = schedule_order(&supports, &quantify_img);
+        let clusters: Vec<BddRef> = order.iter().map(|&i| clusters[i]).collect();
+        let supports: Vec<Vec<u32>> = order.into_iter().map(|i| supports[i].clone()).collect();
+
+        let mut quantify_pre: Vec<u32> = spec.next_vars.to_vec();
+        quantify_pre.extend_from_slice(spec.input_vars);
+        let img_cubes = schedule_cubes(manager, &supports, &quantify_img);
+        let pre_cubes = schedule_cubes(manager, &supports, &quantify_pre);
+        let img_rename: Vec<(u32, u32)> = spec
+            .next_vars
+            .iter()
+            .zip(spec.state_vars.iter())
+            .map(|(&n, &c)| (n, c))
+            .collect();
+        let pre_rename: Vec<(u32, u32)> = img_rename.iter().map(|&(n, c)| (c, n)).collect();
+        Ok(PartitionedTransition {
+            clusters,
+            img_cubes,
+            pre_cubes,
+            img_rename,
+            pre_rename,
+        })
+    }
+
+    /// The clusters of the partition, in schedule order. With
+    /// `cluster_limit = usize::MAX` this is a single BDD equal (by
+    /// canonicity, identical) to the monolithic transition relation.
+    pub fn clusters(&self) -> &[BddRef] {
+        &self.clusters
+    }
+
+    /// The number of clusters (= quantification-schedule steps).
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The forward image of a state set over the current-state variables,
+    /// returned over the current-state variables again. Equal BDD-for-BDD
+    /// to [`crate::machine::ProductMachine::image`] on the monolithic
+    /// relation, but no cluster product beyond the schedule's partial
+    /// conjunctions is ever built. The result is *not* protected; the
+    /// intermediates are released even on error.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a resource limit.
+    pub fn image(&self, manager: &mut BddManager, states: BddRef) -> Result<BddRef> {
+        self.product(manager, states, &self.img_cubes, false)
+    }
+
+    /// The backward (pre-)image of a state set over the current-state
+    /// variables: the states with a successor in `states`, over the
+    /// current-state variables. Same lifetime contract as
+    /// [`PartitionedTransition::image`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a resource limit.
+    pub fn pre_image(&self, manager: &mut BddManager, states: BddRef) -> Result<BddRef> {
+        self.product(manager, states, &self.pre_cubes, true)
+    }
+
+    /// The shared early-quantification product loop. For the forward image
+    /// the state set enters over current-state variables and the result is
+    /// renamed back next → current at the end; for the backward image the
+    /// state set is renamed current → next up front and the result is
+    /// already over current-state variables.
+    fn product(
+        &self,
+        manager: &mut BddManager,
+        states: BddRef,
+        cubes: &[VarCube],
+        backward: bool,
+    ) -> Result<BddRef> {
+        let mut acc = if backward {
+            manager.rename(states, &self.pre_rename)?
+        } else {
+            states
+        };
+        manager.protect(acc);
+        for (&cluster, &cube) in self.clusters.iter().zip(cubes.iter()) {
+            match manager.and_exists_cube(acc, cluster, cube) {
+                Ok(next) => manager.update_protected(&mut acc, next),
+                Err(e) => {
+                    manager.unprotect(acc);
+                    return Err(e.into());
+                }
+            }
+        }
+        let result = if backward {
+            Ok(acc)
+        } else {
+            manager.rename(acc, &self.img_rename).map_err(Into::into)
+        };
+        manager.unprotect(acc);
+        result
+    }
+
+    /// Releases the cluster protections. The value must not be used with
+    /// this manager afterwards.
+    pub fn release(self, manager: &mut BddManager) {
+        for &c in &self.clusters {
+            manager.unprotect(c);
+        }
+    }
+}
+
+/// Greedy cluster ordering for early quantification: repeatedly pick the
+/// cluster that retires the most quantifiable variables (variables no
+/// other remaining cluster mentions — they can be quantified at that
+/// step), tie-breaking towards the smaller quantifiable support, then
+/// towards the original (latch) order. Returns the permutation.
+fn schedule_order(supports: &[Vec<u32>], quantify: &[u32]) -> Vec<usize> {
+    let quantify: std::collections::BTreeSet<u32> = quantify.iter().copied().collect();
+    let qsupport: Vec<Vec<u32>> = supports
+        .iter()
+        .map(|s| s.iter().copied().filter(|v| quantify.contains(v)).collect())
+        .collect();
+    let mut remaining: Vec<usize> = (0..supports.len()).collect();
+    let mut order = Vec::with_capacity(supports.len());
+    while !remaining.is_empty() {
+        let mut best = 0usize;
+        let mut best_score = (0usize, std::cmp::Reverse(usize::MAX));
+        for (pos, &c) in remaining.iter().enumerate() {
+            let retired = qsupport[c]
+                .iter()
+                .filter(|v| {
+                    remaining
+                        .iter()
+                        .all(|&o| o == c || qsupport[o].binary_search(v).is_err())
+                })
+                .count();
+            let score = (retired, std::cmp::Reverse(qsupport[c].len()));
+            if pos == 0 || score > best_score {
+                best_score = score;
+                best = pos;
+            }
+        }
+        order.push(remaining.remove(best));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built three-latch machine: x' = i, y' = x, z' = x ∧ y.
+    fn spec_manager() -> (BddManager, Vec<u32>, Vec<u32>, Vec<u32>, Vec<BddRef>) {
+        // Variable layout: input 0; (current, next) pairs (1,2) (3,4) (5,6).
+        let mut m = BddManager::new(7);
+        let i = m.var(0).unwrap();
+        let x = m.var(1).unwrap();
+        let y = m.var(3).unwrap();
+        let fx = i;
+        let fy = x;
+        let fz = m.and(x, y).unwrap();
+        for f in [fx, fy, fz] {
+            m.protect(f);
+        }
+        (m, vec![1, 3, 5], vec![2, 4, 6], vec![0], vec![fx, fy, fz])
+    }
+
+    #[test]
+    fn infinite_cluster_limit_degenerates_to_monolithic() {
+        let (mut m, state, next, input, fns) = spec_manager();
+        let spec = PartitionSpec {
+            state_vars: &state,
+            next_vars: &next,
+            input_vars: &input,
+            next_fns: &fns,
+        };
+        let pt = PartitionedTransition::build(&mut m, &spec, usize::MAX).unwrap();
+        assert_eq!(pt.num_clusters(), 1);
+        // The single cluster is the monolithic relation, built the way
+        // ProductMachine::transition_relation builds it.
+        let mut mono = m.constant(true);
+        m.protect(mono);
+        for (&nv, &f) in next.iter().zip(fns.iter()) {
+            let nvar = m.var(nv).unwrap();
+            let bi = m.xnor(nvar, f).unwrap();
+            let joined = m.and(mono, bi).unwrap();
+            m.update_protected(&mut mono, joined);
+        }
+        assert_eq!(
+            pt.clusters()[0],
+            mono,
+            "canonicity: same function, same ref"
+        );
+        m.unprotect(mono);
+        pt.release(&mut m);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tiny_cluster_limit_gives_per_latch_clusters() {
+        let (mut m, state, next, input, fns) = spec_manager();
+        let spec = PartitionSpec {
+            state_vars: &state,
+            next_vars: &next,
+            input_vars: &input,
+            next_fns: &fns,
+        };
+        let pt = PartitionedTransition::build(&mut m, &spec, 1).unwrap();
+        assert_eq!(pt.num_clusters(), 3, "one cluster per latch at limit 1");
+        pt.release(&mut m);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn image_agrees_with_monolithic_and_does_not_leak() {
+        let (mut m, state, next, input, fns) = spec_manager();
+        let spec = PartitionSpec {
+            state_vars: &state,
+            next_vars: &next,
+            input_vars: &input,
+            next_fns: &fns,
+        };
+        for limit in [1usize, 2, 8, usize::MAX] {
+            let pt = PartitionedTransition::build(&mut m, &spec, limit).unwrap();
+            // Monolithic reference path.
+            let mut mono = m.constant(true);
+            m.protect(mono);
+            for (&nv, &f) in next.iter().zip(fns.iter()) {
+                let nvar = m.var(nv).unwrap();
+                let bi = m.xnor(nvar, f).unwrap();
+                let joined = m.and(mono, bi).unwrap();
+                m.update_protected(&mut mono, joined);
+            }
+            // States: x=1, y=0, z arbitrary… as a function x ∧ ¬y.
+            let x = m.var(1).unwrap();
+            let ny = m.nvar(3).unwrap();
+            let s = m.and(x, ny).unwrap();
+            m.protect(s);
+
+            let quantify: Vec<u32> = state.iter().chain(input.iter()).copied().collect();
+            let img_next = m.and_exists(s, mono, &quantify).unwrap();
+            let back: Vec<(u32, u32)> = next
+                .iter()
+                .zip(state.iter())
+                .map(|(&n, &c)| (n, c))
+                .collect();
+            let expected = m.rename(img_next, &back).unwrap();
+            m.protect(expected);
+
+            m.collect_garbage();
+            let baseline = m.node_count();
+            let img = pt.image(&mut m, s).unwrap();
+            assert_eq!(img, expected, "partitioned image at limit {limit}");
+            // The unprotected result and every intermediate are reclaimed:
+            // the live count returns to the pre-image baseline.
+            m.collect_garbage();
+            assert_eq!(
+                m.node_count(),
+                baseline,
+                "no leaked protection at limit {limit}"
+            );
+
+            // Pre-image: states with a successor in `expected`.
+            let fwd: Vec<(u32, u32)> = back.iter().map(|&(n, c)| (c, n)).collect();
+            let s_next = m.rename(expected, &fwd).unwrap();
+            m.protect(s_next);
+            let pre_quantify: Vec<u32> = next.iter().chain(input.iter()).copied().collect();
+            let pre_expected = m.and_exists(s_next, mono, &pre_quantify).unwrap();
+            m.protect(pre_expected);
+            let pre = pt.pre_image(&mut m, expected).unwrap();
+            assert_eq!(pre, pre_expected, "partitioned pre-image at limit {limit}");
+
+            for f in [s, expected, s_next, pre_expected, mono] {
+                m.unprotect(f);
+            }
+            pt.release(&mut m);
+            m.check_invariants().unwrap();
+        }
+    }
+}

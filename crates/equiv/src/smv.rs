@@ -14,7 +14,7 @@ use crate::machine::ProductMachine;
 use crate::result::{Verdict, VerificationResult};
 use hash_netlist::gate::bit_blast;
 use hash_netlist::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of the symbolic traversal.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +25,16 @@ pub struct SmvOptions {
     pub node_limit: usize,
     /// The maximum number of image-computation steps.
     pub max_iterations: usize,
+    /// `Some(cluster_limit)` computes images through the conjunctively
+    /// partitioned transition relation (see [`crate::partition`]); `None`
+    /// (the default) keeps the monolithic relation.
+    pub partition: Option<usize>,
+    /// An optional wall-clock budget, checked in the BDD node constructor
+    /// and reported as a resource limit.
+    pub time_limit: Option<Duration>,
+    /// Sample the post-GC live-node count only every this many traversal
+    /// steps (default 1: every step, the historical behaviour).
+    pub gc_interval: usize,
 }
 
 impl Default for SmvOptions {
@@ -32,7 +42,43 @@ impl Default for SmvOptions {
         SmvOptions {
             node_limit: 2_000_000,
             max_iterations: 10_000,
+            partition: None,
+            time_limit: None,
+            gc_interval: 1,
         }
+    }
+}
+
+impl SmvOptions {
+    /// Replaces the BDD live-node budget.
+    pub fn with_node_limit(mut self, node_limit: usize) -> SmvOptions {
+        self.node_limit = node_limit;
+        self
+    }
+
+    /// Replaces the traversal-step limit.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> SmvOptions {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Enables partitioned image computation with the given cluster-size
+    /// bound in BDD nodes.
+    pub fn partitioned(mut self, cluster_limit: usize) -> SmvOptions {
+        self.partition = Some(cluster_limit);
+        self
+    }
+
+    /// Sets a wall-clock budget for the run.
+    pub fn with_time_limit(mut self, time_limit: Duration) -> SmvOptions {
+        self.time_limit = Some(time_limit);
+        self
+    }
+
+    /// Sets the live-node sampling cadence (clamped to at least 1).
+    pub fn with_gc_interval(mut self, gc_interval: usize) -> SmvOptions {
+        self.gc_interval = gc_interval.max(1);
+        self
     }
 }
 
@@ -61,11 +107,21 @@ fn run(
 ) -> crate::error::Result<(Verdict, usize, usize, usize)> {
     let ga = bit_blast(a)?.netlist;
     let gb = bit_blast(b)?.netlist;
-    let mut pm = ProductMachine::build(&ga, &gb, options.node_limit)?;
+    let mut pm =
+        ProductMachine::build_limited(&ga, &gb, options.node_limit, true, options.time_limit)?;
     // Everything held across BDD operations is protected from the garbage
     // collector; loop state transfers its root via `update_protected`.
-    let transition = pm.transition_relation()?;
-    pm.manager.protect(transition);
+    // The transition relation is either the monolithic conjunction (the
+    // reference semantics) or the clustered partition with its
+    // early-quantification schedule.
+    let (transition, partitioned) = match options.partition {
+        Some(cluster_limit) => (None, Some(pm.partitioned_transition(cluster_limit)?)),
+        None => {
+            let t = pm.transition_relation()?;
+            pm.manager.protect(t);
+            (Some(t), None)
+        }
+    };
     let miter = pm.output_difference()?;
     pm.manager.protect(miter);
 
@@ -74,6 +130,7 @@ fn run(
     let mut frontier = reached;
     pm.manager.protect(frontier);
     let mut peak = pm.live_checkpoint();
+    let gc_interval = options.gc_interval.max(1);
     for step in 1..=options.max_iterations {
         // Outputs must agree in every reachable state, for every input.
         let bad = pm.manager.and(reached, miter)?;
@@ -81,7 +138,11 @@ fn run(
             let alloc = pm.manager.stats().allocated_slots;
             return Ok((Verdict::NotEquivalent, step, peak, alloc));
         }
-        let image = pm.image(frontier, transition)?;
+        let image = match (&transition, &partitioned) {
+            (Some(t), _) => pm.image(frontier, *t)?,
+            (None, Some(pt)) => pt.image(&mut pm.manager, frontier)?,
+            (None, None) => unreachable!("one image engine is always built"),
+        };
         let not_reached = pm.manager.not(reached);
         let new_states = pm.manager.and(image, not_reached)?;
         if new_states == hash_bdd::BddRef::FALSE {
@@ -93,8 +154,11 @@ fn run(
         pm.manager.update_protected(&mut reached, grown);
         pm.manager.update_protected(&mut frontier, new_states);
         // Peak-live is sampled post-GC: dead traversal intermediates are
-        // collected before the live count is recorded.
-        peak = peak.max(pm.live_checkpoint());
+        // collected before the live count is recorded (every
+        // `gc_interval` steps; the k = 1 default samples every step).
+        if step % gc_interval == 0 {
+            peak = peak.max(pm.live_checkpoint());
+        }
     }
     let alloc = pm.manager.stats().allocated_slots;
     Ok((Verdict::Inconclusive, options.max_iterations, peak, alloc))
@@ -140,11 +204,41 @@ mod tests {
         let r = check_equivalence_smv(
             &fig.netlist,
             &retimed,
-            SmvOptions {
-                node_limit: 50,
-                max_iterations: 100,
-            },
+            SmvOptions::default()
+                .with_node_limit(50)
+                .with_max_iterations(100),
         );
         assert_eq!(r.verdict, Verdict::ResourceLimit);
+    }
+
+    #[test]
+    fn partitioned_traversal_agrees_with_monolithic() {
+        let fig = Figure2::new(3);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        let mono = check_equivalence_smv(&fig.netlist, &retimed, SmvOptions::default());
+        for cluster_limit in [1usize, 500, usize::MAX] {
+            let part = check_equivalence_smv(
+                &fig.netlist,
+                &retimed,
+                SmvOptions::default().partitioned(cluster_limit),
+            );
+            assert_eq!(part.verdict, Verdict::Equivalent, "{part}");
+            assert_eq!(
+                part.iterations, mono.iterations,
+                "same fixpoint depth at cluster limit {cluster_limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_time_limit_reports_resource_limit() {
+        let fig = Figure2::new(3);
+        let retimed = forward_retime(&fig.netlist, &fig.correct_cut()).unwrap();
+        let r = check_equivalence_smv(
+            &fig.netlist,
+            &retimed,
+            SmvOptions::default().with_time_limit(Duration::ZERO),
+        );
+        assert_eq!(r.verdict, Verdict::ResourceLimit, "{r}");
     }
 }

@@ -1,0 +1,332 @@
+//! Differential property tests of the partitioned-transition subsystem.
+//!
+//! Image computation is the easiest place to silently get wrong answers,
+//! so the clustered conjunction + early-quantification engine
+//! (`hash_equiv::partition`, PR 4) is pinned against the monolithic
+//! transition-relation path on randomly generated small machines
+//! (≤ 10 latches): forward and backward images must agree **BDD-for-BDD**
+//! (canonicity makes ref equality a semantic check), the full van Eijk
+//! fixpoint must reach the same verdict in the same number of steps, an
+//! infinite cluster limit must degenerate to the very monolithic relation
+//! BDD, and no image may leak a protected intermediate (the live-node
+//! count returns to its baseline after every image).
+
+use hash_equiv::prelude::*;
+use hash_netlist::gate::bit_blast;
+use hash_netlist::prelude::*;
+use proptest::prelude::*;
+
+/// A random 1-bit expression over `inputs` input signals and `latches`
+/// latch outputs.
+#[derive(Clone, Debug)]
+enum Expr {
+    Input(usize),
+    Latch(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn expr(inputs: usize, latches: usize, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0..inputs).prop_map(Expr::Input),
+        (0..latches).prop_map(Expr::Latch),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let sub = expr(inputs, latches, depth - 1);
+        prop_oneof![
+            leaf,
+            sub.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (sub.clone(), sub).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+        .boxed()
+    }
+}
+
+/// A random Moore-style machine: per-latch next-state expressions and
+/// initial values, plus one output expression.
+#[derive(Clone, Debug)]
+struct MachineDesc {
+    num_inputs: usize,
+    latches: Vec<(Expr, bool)>,
+    output: Expr,
+}
+
+/// A fixed-length list of (next-state expression, initial value) pairs,
+/// built by chaining pair strategies (the vendored proptest subset has no
+/// `collection::vec`).
+fn latch_list(count: usize, inputs: usize, latches: usize) -> BoxedStrategy<Vec<(Expr, bool)>> {
+    let mut s: BoxedStrategy<Vec<(Expr, bool)>> = Just(Vec::new()).boxed();
+    for _ in 0..count {
+        s = (s, expr(inputs, latches, 3), 0u8..2)
+            .prop_map(|(mut v, e, init)| {
+                v.push((e, init == 1));
+                v
+            })
+            .boxed();
+    }
+    s
+}
+
+/// Remaps signal indices drawn over the maximal ranges into the actual
+/// machine sizes (the subset has no `prop_flat_map` to condition the
+/// expression strategy on the drawn sizes).
+fn remap(e: &Expr, num_inputs: usize, num_latches: usize) -> Expr {
+    match e {
+        Expr::Input(i) => Expr::Input(i % num_inputs),
+        Expr::Latch(i) => Expr::Latch(i % num_latches),
+        Expr::Not(a) => Expr::Not(Box::new(remap(a, num_inputs, num_latches))),
+        Expr::And(a, b) => Expr::And(
+            Box::new(remap(a, num_inputs, num_latches)),
+            Box::new(remap(b, num_inputs, num_latches)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(remap(a, num_inputs, num_latches)),
+            Box::new(remap(b, num_inputs, num_latches)),
+        ),
+        Expr::Xor(a, b) => Expr::Xor(
+            Box::new(remap(a, num_inputs, num_latches)),
+            Box::new(remap(b, num_inputs, num_latches)),
+        ),
+    }
+}
+
+/// Machines with 1–3 inputs and 1–`max_latches` latches.
+fn machine(max_latches: usize) -> BoxedStrategy<MachineDesc> {
+    (
+        1usize..4,
+        1usize..max_latches + 1,
+        latch_list(max_latches, 3, 10),
+        expr(3, 10, 2),
+    )
+        .prop_map(
+            move |(num_inputs, num_latches, latches, output)| MachineDesc {
+                num_inputs,
+                latches: latches[..num_latches]
+                    .iter()
+                    .map(|(e, init)| (remap(e, num_inputs, num_latches), *init))
+                    .collect(),
+                output: remap(&output, num_inputs, num_latches),
+            },
+        )
+        .boxed()
+}
+
+/// Realises the description as a 1-bit gate-level netlist.
+fn build_netlist(desc: &MachineDesc) -> Netlist {
+    let mut n = Netlist::new("random");
+    let inputs: Vec<SignalId> = (0..desc.num_inputs)
+        .map(|i| n.add_input(format!("i{i}"), 1))
+        .collect();
+    let latch_outs: Vec<SignalId> = (0..desc.latches.len())
+        .map(|i| n.add_signal(format!("q{i}"), 1))
+        .collect();
+    fn build(n: &mut Netlist, e: &Expr, inputs: &[SignalId], latches: &[SignalId]) -> SignalId {
+        match e {
+            Expr::Input(i) => inputs[*i],
+            Expr::Latch(i) => latches[*i],
+            Expr::Not(a) => {
+                let a = build(n, a, inputs, latches);
+                n.not(a, "n").unwrap()
+            }
+            Expr::And(a, b) => {
+                let (a, b) = (build(n, a, inputs, latches), build(n, b, inputs, latches));
+                n.cell(CombOp::And, &[a, b], "a").unwrap()
+            }
+            Expr::Or(a, b) => {
+                let (a, b) = (build(n, a, inputs, latches), build(n, b, inputs, latches));
+                n.cell(CombOp::Or, &[a, b], "o").unwrap()
+            }
+            Expr::Xor(a, b) => {
+                let (a, b) = (build(n, a, inputs, latches), build(n, b, inputs, latches));
+                n.cell(CombOp::Xor, &[a, b], "x").unwrap()
+            }
+        }
+    }
+    for (i, (next, init)) in desc.latches.iter().enumerate() {
+        let d = build(&mut n, next, &inputs, &latch_outs);
+        n.add_register(d, latch_outs[i], BitVec::bit(*init))
+            .unwrap();
+    }
+    let out = build(&mut n, &desc.output, &inputs, &latch_outs);
+    n.mark_output(out);
+    n
+}
+
+/// The self-product machine of the description (same interface on both
+/// sides), the substrate of every property below.
+fn product(desc: &MachineDesc) -> ProductMachine {
+    let g = bit_blast(&build_netlist(desc)).unwrap().netlist;
+    ProductMachine::build(&g, &g, 1 << 22).unwrap()
+}
+
+/// As [`product`], but with dynamic reordering off: the live-node leak
+/// property compares absolute post-GC counts, which a sifting pass in the
+/// middle of an image would legitimately change.
+fn product_no_reorder(desc: &MachineDesc) -> ProductMachine {
+    let g = bit_blast(&build_netlist(desc)).unwrap().netlist;
+    ProductMachine::build_with(&g, &g, 1 << 22, false).unwrap()
+}
+
+/// The monolithic backward image: `∃ next, inputs. S[cur→next] ∧ T`.
+fn pre_image_monolithic(
+    pm: &mut ProductMachine,
+    states: hash_bdd::BddRef,
+    transition: hash_bdd::BddRef,
+) -> hash_bdd::BddRef {
+    let fwd: Vec<(u32, u32)> = pm
+        .state_vars
+        .iter()
+        .zip(pm.next_vars.iter())
+        .map(|(&c, &n)| (c, n))
+        .collect();
+    let s_next = pm.manager.rename(states, &fwd).unwrap();
+    pm.manager.protect(s_next);
+    let quantify: Vec<u32> = pm
+        .next_vars
+        .iter()
+        .chain(pm.input_vars.iter())
+        .copied()
+        .collect();
+    let pre = pm
+        .manager
+        .and_exists(s_next, transition, &quantify)
+        .unwrap();
+    pm.manager.unprotect(s_next);
+    pre
+}
+
+proptest! {
+    // Fixed case count AND fixed RNG seed, like the arena and manager
+    // differential suites: CI explores exactly the same machines on every
+    // run, and a failure reproduces from the seed alone.
+    #![proptest_config(ProptestConfig::with_cases(192).with_rng_seed(0x9A47_1710_4EB2_0004))]
+
+    /// Partitioned `image`/`pre_image` agree BDD-for-BDD with the
+    /// monolithic path, on the initial state and on a deeper frontier,
+    /// across a cluster-limit sweep within one machine.
+    #[test]
+    fn images_agree_bdd_for_bdd(desc in machine(10), cluster_limit in 1usize..64) {
+        let mut pm = product(&desc);
+        let transition = pm.transition_relation().unwrap();
+        pm.manager.protect(transition);
+        let init = pm.initial_state().unwrap();
+        pm.manager.protect(init);
+
+        for limit in [cluster_limit, usize::MAX] {
+            let pt = pm.partitioned_transition(limit).unwrap();
+            // Step 1: image of the initial state.
+            let mono1 = pm.image(init, transition).unwrap();
+            pm.manager.protect(mono1);
+            let part1 = pt.image(&mut pm.manager, init).unwrap();
+            prop_assert!(part1 == mono1, "image(init) at cluster limit {limit}");
+            // Step 2: image of a deeper, denser state set.
+            let frontier = pm.manager.or(mono1, init).unwrap();
+            pm.manager.protect(frontier);
+            let mono2 = pm.image(frontier, transition).unwrap();
+            pm.manager.protect(mono2);
+            let part2 = pt.image(&mut pm.manager, frontier).unwrap();
+            prop_assert!(part2 == mono2, "image(frontier) at cluster limit {limit}");
+            // Backward: pre-image of the reached set.
+            let pre_mono = pre_image_monolithic(&mut pm, mono2, transition);
+            pm.manager.protect(pre_mono);
+            let pre_part = pt.pre_image(&mut pm.manager, mono2).unwrap();
+            prop_assert!(pre_part == pre_mono, "pre_image at cluster limit {limit}");
+            for f in [mono1, frontier, mono2, pre_mono] {
+                pm.manager.unprotect(f);
+            }
+            pt.release(&mut pm.manager);
+        }
+        pm.manager.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// An infinite cluster limit degenerates to the monolithic relation:
+    /// one cluster, and by canonicity the *same BDD ref* the monolithic
+    /// builder produces.
+    #[test]
+    fn infinite_cluster_limit_is_the_monolithic_relation(desc in machine(10)) {
+        let mut pm = product(&desc);
+        let transition = pm.transition_relation().unwrap();
+        pm.manager.protect(transition);
+        let pt = pm.partitioned_transition(usize::MAX).unwrap();
+        prop_assert_eq!(pt.num_clusters(), 1);
+        prop_assert_eq!(pt.clusters()[0], transition);
+        pt.release(&mut pm.manager);
+        pm.manager.unprotect(transition);
+        pm.manager.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// No protected intermediate leaks: after each image the manager's
+    /// live-node count returns to its pre-image baseline (the unprotected
+    /// result and every partial cluster product are reclaimed by the
+    /// collector — nothing the image computed stays protected).
+    #[test]
+    fn images_do_not_leak_protections(desc in machine(10), cluster_limit in 1usize..32) {
+        let mut pm = product_no_reorder(&desc);
+        let init = pm.initial_state().unwrap();
+        pm.manager.protect(init);
+        let pt = pm.partitioned_transition(cluster_limit).unwrap();
+        // Warm-up image: creates the (pinned) rename-target variable nodes
+        // so the baseline below is stable across the measured images.
+        let warm = pt.image(&mut pm.manager, init).unwrap();
+        pm.manager.protect(warm);
+        let states = pm.manager.or(warm, init).unwrap();
+        pm.manager.protect(states);
+        pm.manager.unprotect(warm);
+
+        pm.manager.collect_garbage();
+        let baseline = pm.manager.node_count();
+        for round in 0..3 {
+            let img = pt.image(&mut pm.manager, states).unwrap();
+            let _ = img; // deliberately dropped unprotected
+            pm.manager.collect_garbage();
+            prop_assert!(
+                pm.manager.node_count() == baseline,
+                "image leaked live nodes in round {round}"
+            );
+            let pre = pt.pre_image(&mut pm.manager, states).unwrap();
+            let _ = pre;
+            pm.manager.collect_garbage();
+            prop_assert!(
+                pm.manager.node_count() == baseline,
+                "pre_image leaked live nodes in round {round}"
+            );
+        }
+        pt.release(&mut pm.manager);
+        pm.manager.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// The full van Eijk fixpoint (both variants) reaches the same verdict
+    /// in the same number of traversal steps through the partitioned and
+    /// the monolithic engines — on equivalent machines (self comparison)
+    /// and on possibly-inequivalent ones (an initial value flipped).
+    #[test]
+    fn eijk_fixpoint_agrees(
+        desc in machine(6),
+        cluster_limit in 1usize..64,
+        flip in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let a = build_netlist(&desc);
+        let mut b_desc = desc;
+        if flip {
+            b_desc.latches[0].1 = !b_desc.latches[0].1;
+        }
+        let b = build_netlist(&b_desc);
+        let base = EijkOptions::default()
+            .with_reorder(false)
+            .with_max_iterations(64);
+        let mono = check_equivalence_eijk(&a, &b, base);
+        let part = check_equivalence_eijk(&a, &b, base.partitioned(cluster_limit));
+        prop_assert!(part.verdict == mono.verdict, "basic Eijk verdicts diverge");
+        prop_assert!(part.iterations == mono.iterations, "basic Eijk step counts diverge");
+        let mono_plus = check_equivalence_eijk_plus(&a, &b, base);
+        let part_plus = check_equivalence_eijk_plus(&a, &b, base.partitioned(cluster_limit));
+        prop_assert!(part_plus.verdict == mono_plus.verdict, "Eijk+ verdicts diverge");
+        prop_assert!(part_plus.iterations == mono_plus.iterations, "Eijk+ step counts diverge");
+    }
+}

@@ -33,10 +33,9 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let smv = check_equivalence_smv(
         &fig.netlist,
         &retimed,
-        SmvOptions {
-            node_limit: 500_000,
-            max_iterations: 10_000,
-        },
+        SmvOptions::default()
+            .with_node_limit(500_000)
+            .with_max_iterations(10_000),
     );
     println!("  SMV-style model checking: {smv}");
 

@@ -23,10 +23,9 @@ fn figure2_formal_conventional_and_model_checker_agree() {
         let smv = check_equivalence_smv(
             &fig.netlist,
             &formal.retimed,
-            SmvOptions {
-                node_limit: 500_000,
-                max_iterations: 1_000,
-            },
+            SmvOptions::default()
+                .with_node_limit(500_000)
+                .with_max_iterations(1_000),
         );
         assert_eq!(smv.verdict, Verdict::Equivalent, "n = {n}: {smv}");
         // The reference retimed circuit from the paper's Figure 2.
