@@ -19,6 +19,14 @@ pub enum ResourceKind {
     /// traversals abort mid-operation with the manager's structural
     /// invariants intact. The limit is reported in milliseconds.
     Time,
+    /// The per-operation allocation budget of a *trial* conjunction
+    /// ([`crate::BddManager::and_within`]): the caller asked for the
+    /// operation to be abandoned once it had constructed more than `limit`
+    /// fresh nodes. Unlike [`ResourceKind::Nodes`] there is no
+    /// collect-and-retry — the abort is the requested outcome, and
+    /// [`crate::BddManager::and_within`] converts it to `Ok(None)` rather
+    /// than letting it escape.
+    TrialNodes,
 }
 
 impl fmt::Display for ResourceKind {
@@ -27,6 +35,7 @@ impl fmt::Display for ResourceKind {
             ResourceKind::Nodes => write!(f, "live BDD nodes"),
             ResourceKind::Depth => write!(f, "recursion depth"),
             ResourceKind::Time => write!(f, "milliseconds of wall clock"),
+            ResourceKind::TrialNodes => write!(f, "fresh nodes of a trial operation"),
         }
     }
 }

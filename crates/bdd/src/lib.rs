@@ -12,8 +12,10 @@
 //! live-node budget, a unified **size-bounded operation cache**, **Rudell
 //! sifting** dynamic variable reordering, fused relational products and
 //! depth-bounded recursion — see the [`manager`] module docs for the
-//! architecture and [`manager::reference`] for the textbook oracle used by
-//! the differential test suite.
+//! architecture (including the threading model: a [`BddManager`] is
+//! [`Send`] and self-contained, so parallel workloads run one manager per
+//! worker thread) and [`manager::reference`] for the textbook oracle used
+//! by the differential test suite.
 //!
 //! ## Example
 //!
@@ -35,7 +37,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod error;

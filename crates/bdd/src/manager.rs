@@ -37,8 +37,24 @@
 //!   overflowing the native stack.
 //!
 //! The pre-rewrite textbook implementation survives as
-//! [`reference`](crate::manager::reference) for differential testing
+//! [`mod@reference`] for differential testing
 //! (`tests/manager_properties.rs`), mirroring `hash_logic::term::reference`.
+//!
+//! # Threading model
+//!
+//! A [`BddManager`] owns all of its state — node table, unique table,
+//! operation cache, interned cubes and protection roots — with no interior
+//! mutability, no globals and no thread-locals, so the type is [`Send`]:
+//! a manager can be *moved* to (or built on) a worker thread, which is how
+//! the Table-II harness runs its benchmarks in parallel, one manager per
+//! worker. It is **not** [`Sync`] in any useful sense: every operation
+//! takes `&mut self`, so a single manager cannot be shared across threads,
+//! and a [`BddRef`] or [`VarCube`] is only meaningful for the manager that
+//! created it — sending a ref between threads without its manager is a
+//! logic error the type system does not (and cannot cheaply) prevent.
+//! Per-manager budgets (`node_limit`, deadline, depth) therefore isolate
+//! naturally: one worker's blow-up cannot evict another's cache or skew its
+//! peak-live statistics.
 
 pub mod reference;
 
@@ -235,6 +251,42 @@ pub struct BddStats {
 
 /// A reduced ordered BDD manager with complement edges, garbage collection
 /// and dynamic variable reordering.
+///
+/// The one rule callers must follow is the **protection discipline**: any
+/// ref held across another BDD operation must be registered as a garbage
+/// collection root with [`BddManager::protect`] (released again with
+/// [`BddManager::unprotect`], or transferred with
+/// [`BddManager::update_protected`] for loop state), because operations
+/// may collect garbage at their safe points and an unprotected
+/// intermediate is exactly what they reclaim. Variable nodes are pinned
+/// and never need protection.
+///
+/// ```
+/// use hash_bdd::BddManager;
+///
+/// # fn main() -> Result<(), hash_bdd::BddError> {
+/// let mut m = BddManager::new(8);
+/// let x = m.var(0)?;
+/// let y = m.var(1)?;
+/// let f = m.and(x, y)?;
+/// m.protect(f); // `f` is held across the operations below
+/// let mut reached = f;
+/// for v in 2..8 {
+///     let lit = m.var(v)?; // may garbage collect: `f` survives, pinned
+///     let next = m.or(reached, lit)?;
+///     if v == 2 {
+///         m.protect(next); // first iteration: root the loop state …
+///         reached = next;
+///     } else {
+///         m.update_protected(&mut reached, next); // … then transfer it
+///     }
+/// }
+/// m.unprotect(reached);
+/// m.unprotect(f);
+/// assert!(m.eval(f, &[true, true, false, false, false, false, false, false]));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Clone, Debug)]
 pub struct BddManager {
     nodes: Vec<Node>,
@@ -285,7 +337,24 @@ pub struct BddManager {
     time_limit_ms: usize,
     /// Countdown to the next deadline poll.
     time_check: u32,
+    /// Allocation budget of the trial operation currently in flight
+    /// ([`BddManager::and_within`]); `None` outside trial operations.
+    trial_budget: Option<usize>,
+    /// Fresh nodes constructed by the running trial operation.
+    trial_allocs: usize,
 }
+
+/// The manager is self-contained (no interior mutability, no globals), so
+/// it can be moved to a worker thread — one manager per worker is the
+/// concurrency model of the parallel Table-II sweep. Compile-time proof:
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<BddManager>();
+    assert_send::<BddRef>();
+    assert_send::<VarCube>();
+    assert_send::<BddStats>();
+    assert_send::<BddError>();
+};
 
 impl BddManager {
     /// Creates a manager for the given number of variables. Garbage
@@ -331,6 +400,8 @@ impl BddManager {
             deadline: None,
             time_limit_ms: 0,
             time_check: TIME_CHECK_INTERVAL,
+            trial_budget: None,
+            trial_allocs: 0,
         }
     }
 
@@ -570,6 +641,15 @@ impl BddManager {
                 return Err(BddError::node_limit(self.node_limit));
             }
             self.check_deadline()?;
+            if let Some(budget) = self.trial_budget {
+                if self.trial_allocs >= budget {
+                    return Err(BddError::ResourceLimit {
+                        resource: ResourceKind::TrialNodes,
+                        limit: budget,
+                    });
+                }
+                self.trial_allocs += 1;
+            }
         }
         let idx = match self.free_list.pop() {
             Some(i) => {
@@ -979,6 +1059,42 @@ impl BddManager {
             self.unprotect(f);
         }
         result.map(|()| acc)
+    }
+
+    /// A *trial* conjunction with an allocation budget: computes
+    /// `f ∧ g` like [`BddManager::and`], but abandons the operation and
+    /// returns `Ok(None)` once it has constructed more than `new_nodes`
+    /// fresh nodes. Within a single operation every fresh node is reachable
+    /// from the operation's result (parents of fresh nodes are necessarily
+    /// fresh, and the unique table cannot hold a pre-existing parent of a
+    /// fresh child), so an abort *proves* the conjunction has more than
+    /// `new_nodes` nodes — while a conjunction that already exists mostly
+    /// or fully in the node table completes cheaply no matter its size.
+    ///
+    /// This is the probe greedy clustering wants: "would this product stay
+    /// under the cluster limit?" can be answered without materialising an
+    /// over-limit product only to discard it. The abandoned intermediates
+    /// are ordinary garbage, reclaimed by the next collection.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a genuine resource limit (live nodes, depth, time) —
+    /// exhausting the trial budget is reported as `Ok(None)`, not an error.
+    pub fn and_within(&mut self, f: BddRef, g: BddRef, new_nodes: usize) -> Result<Option<BddRef>> {
+        self.trial_budget = Some(new_nodes);
+        let result = self.run_op(&[f, g], |m| {
+            m.trial_allocs = 0;
+            m.ite_rec(f, g, BddRef::FALSE, 0)
+        });
+        self.trial_budget = None;
+        match result {
+            Ok(r) => Ok(Some(r)),
+            Err(BddError::ResourceLimit {
+                resource: ResourceKind::TrialNodes,
+                ..
+            }) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2269,6 +2385,72 @@ mod tests {
         let plain = m.and_exists_cube(f, g, empty).unwrap();
         assert_eq!(plain, m.and(f, g).unwrap());
         check(&m);
+    }
+
+    #[test]
+    fn and_within_budget_is_a_sound_size_probe() {
+        // A conjunction of interleaved pair products under an adversarial
+        // order is large; a tiny trial budget must abandon it, while a
+        // generous one computes exactly what `and` computes.
+        const PAIRS: u32 = 8;
+        let mut m = BddManager::new(2 * PAIRS);
+        let mut f = m.constant(true);
+        let mut g = m.constant(true);
+        m.protect(f);
+        m.protect(g);
+        for i in 0..PAIRS {
+            let a = m.var(i).unwrap();
+            let b = m.var(PAIRS + i).unwrap();
+            let ab = m.xnor(a, b).unwrap();
+            if i % 2 == 0 {
+                let next = m.and(f, ab).unwrap();
+                m.update_protected(&mut f, next);
+            } else {
+                let next = m.and(g, ab).unwrap();
+                m.update_protected(&mut g, next);
+            }
+        }
+        let full = m.and(f, g).unwrap();
+        m.protect(full);
+        let size = m.size(full);
+        // Generous budget: same canonical result as the plain conjunction.
+        let ok = m.and_within(f, g, usize::MAX).unwrap();
+        assert_eq!(ok, Some(full));
+        // Unbudgeted probe of an already-materialised conjunction: every
+        // node pre-exists, so even a zero budget completes.
+        let cached = m.and_within(f, g, 0).unwrap();
+        assert_eq!(cached, Some(full));
+        // Force a genuinely fresh computation in a new manager and starve
+        // it: the abort must fire, leave the invariants intact, and prove
+        // the result would have exceeded the budget.
+        let mut m2 = BddManager::new(2 * PAIRS);
+        let mut f2 = m2.constant(true);
+        let mut g2 = m2.constant(true);
+        m2.protect(f2);
+        m2.protect(g2);
+        for i in 0..PAIRS {
+            let a = m2.var(i).unwrap();
+            let b = m2.var(PAIRS + i).unwrap();
+            let ab = m2.xnor(a, b).unwrap();
+            if i % 2 == 0 {
+                let next = m2.and(f2, ab).unwrap();
+                m2.update_protected(&mut f2, next);
+            } else {
+                let next = m2.and(g2, ab).unwrap();
+                m2.update_protected(&mut g2, next);
+            }
+        }
+        let budget = 4usize;
+        assert!(size > budget + 1, "the probe target is genuinely large");
+        let aborted = m2.and_within(f2, g2, budget).unwrap();
+        assert_eq!(aborted, None, "starved trial is abandoned");
+        check(&m2);
+        // The abandoned garbage is reclaimable and a later unbudgeted run
+        // still produces the canonical conjunction.
+        m2.collect_garbage();
+        let done = m2.and(f2, g2).unwrap();
+        assert_eq!(m2.size(done), size);
+        check(&m2);
     }
 
     #[test]

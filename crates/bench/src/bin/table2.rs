@@ -16,6 +16,16 @@
 //! pass records the monolithic-vs-partitioned ablation. `--json` emits the
 //! machine-readable snapshot. A positional number is still accepted as the
 //! node limit for backwards compatibility.
+//!
+//! `--jobs N` runs the benchmark entries on a pool of N worker threads
+//! (default: the machine's available parallelism), one BDD manager — and
+//! one set of budgets and protection roots — per checker run per worker;
+//! the verdict / step / peak-live columns are byte-identical to a
+//! sequential run, only the wall-time fields vary. `--sweep-cluster-limit`
+//! switches to the cluster-limit sweep (partitioned basic Eijk over every
+//! benchmark × every limit; defaults 500/2000/10000/50000, overridable
+//! with `--sweep-limits 500,2000,…`), the EXPERIMENTS.md table that
+//! grounds the 2,000-node default.
 use hash_bench::{cli, table2};
 use std::time::Duration;
 
@@ -25,6 +35,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-refinements",
     "--cluster-limit",
     "--time-limit",
+    "--jobs",
+    "--sweep-limits",
 ];
 
 fn main() {
@@ -60,15 +72,47 @@ fn main() {
     if cli::flag(&args, "--partitioned") || cli::flag(&args, "--cluster-limit") {
         options = options.partitioned(cluster_limit);
     }
-    let rows = table2::run_with(options);
+    let jobs = cli::opt_value(&args, "--jobs")
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(table2::default_jobs);
+
+    if cli::flag(&args, "--sweep-cluster-limit") {
+        let limits: Vec<usize> = cli::opt_value(&args, "--sweep-limits")
+            .map(|s| {
+                s.split(',')
+                    .filter_map(|p| p.trim().parse().ok())
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|l| !l.is_empty())
+            .unwrap_or_else(table2::default_sweep_limits);
+        let rows = table2::sweep_cluster_limits(&limits, options, jobs);
+        if cli::flag(&args, "--json") {
+            print!(
+                "{}",
+                table2::render_sweep_json(&rows, &limits, &options, jobs)
+            );
+        } else {
+            println!(
+                "Table II cluster-limit sweep — partitioned basic Eijk \
+                 (times in seconds, '-' = blow-up; node limit {}, {} jobs)",
+                options.node_limit, jobs
+            );
+            print!("{}", table2::render_sweep(&rows, &limits));
+        }
+        return;
+    }
+
+    let rows = table2::run_jobs(options, jobs);
     if cli::flag(&args, "--json") {
-        print!("{}", table2::render_json(&rows, &options));
+        print!("{}", table2::render_json(&rows, &options, jobs));
     } else {
         println!(
             "Table II — IWLS'91-style benchmarks (times in seconds, '-' = blow-up; \
-             Eijk node limit {}, max {} iterations{})",
+             Eijk node limit {}, max {} iterations, {} jobs{})",
             options.node_limit,
             options.max_iterations,
+            jobs,
             match options.partition {
                 Some(limit) => format!(", partitioned at cluster limit {limit}"),
                 None => String::new(),

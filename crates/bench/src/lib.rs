@@ -26,7 +26,11 @@ use hash_netlist::prelude::*;
 use hash_retiming::prelude::*;
 use std::time::{Duration, Instant};
 
-/// How a verification/synthesis run ended, with its wall-clock time.
+/// How a verification/synthesis run ended, with its wall-clock time and —
+/// for the iterative BDD-based checkers — its deterministic cost columns
+/// (traversal steps and post-GC peak-live nodes). The deterministic
+/// columns are what the parallel and sequential Table-II drivers must
+/// agree on byte-for-byte; only `seconds` varies between runs.
 #[derive(Clone, Debug)]
 pub struct Timing {
     /// Seconds of wall-clock time.
@@ -34,13 +38,26 @@ pub struct Timing {
     /// A short status: `ok`, `limit` (resource blow-up, printed as a dash in
     /// the paper), `fail` or `n/a`.
     pub status: &'static str,
+    /// Fixed-point iterations / traversal steps of the run (0 for methods
+    /// that do not iterate, e.g. the HASH synthesis step).
+    pub steps: usize,
+    /// Peak *live* BDD nodes, sampled post-GC (BDD-based methods only).
+    pub peak_live: Option<usize>,
 }
 
 impl Timing {
     fn ok(d: Duration) -> Timing {
+        Timing::flat(d.as_secs_f64(), "ok")
+    }
+
+    /// A timing with no iteration/peak statistics (non-BDD methods and
+    /// failure paths that never reached the traversal).
+    fn flat(seconds: f64, status: &'static str) -> Timing {
         Timing {
-            seconds: d.as_secs_f64(),
-            status: "ok",
+            seconds,
+            status,
+            steps: 0,
+            peak_live: None,
         }
     }
 
@@ -55,12 +72,17 @@ impl Timing {
         }
     }
 
-    /// The timing as a JSON object.
+    /// The timing as a JSON object. `seconds` is the only field that varies
+    /// from run to run; `status`, `steps` and `peak_live` are deterministic
+    /// for a given configuration.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"seconds\": {}, \"status\": \"{}\"}}",
+            "{{\"seconds\": {}, \"status\": \"{}\", \"steps\": {}, \"peak_live\": {}}}",
             json::num(self.seconds),
-            self.status
+            self.status,
+            self.steps,
+            self.peak_live
+                .map_or_else(|| "null".to_string(), |p| p.to_string())
         )
     }
 }
@@ -129,20 +151,17 @@ pub mod json {
 }
 
 fn timing_of(result: &VerificationResult) -> Timing {
-    match result.verdict {
-        Verdict::Equivalent => Timing::ok(result.duration),
-        Verdict::ResourceLimit => Timing {
-            seconds: result.duration.as_secs_f64(),
-            status: "limit",
-        },
-        Verdict::NotEquivalent => Timing {
-            seconds: result.duration.as_secs_f64(),
-            status: "fail",
-        },
-        Verdict::Inconclusive => Timing {
-            seconds: result.duration.as_secs_f64(),
-            status: "?",
-        },
+    let status = match result.verdict {
+        Verdict::Equivalent => "ok",
+        Verdict::ResourceLimit => "limit",
+        Verdict::NotEquivalent => "fail",
+        Verdict::Inconclusive => "?",
+    };
+    Timing {
+        seconds: result.duration.as_secs_f64(),
+        status,
+        steps: result.iterations,
+        peak_live: result.peak_live,
     }
 }
 
@@ -202,10 +221,7 @@ pub mod table1 {
                     RetimeOptions::default(),
                 ) {
                     Ok(_) => Timing::ok(start.elapsed()),
-                    Err(_) => Timing {
-                        seconds: start.elapsed().as_secs_f64(),
-                        status: "fail",
-                    },
+                    Err(_) => Timing::flat(start.elapsed().as_secs_f64(), "fail"),
                 };
                 Row {
                     n,
@@ -263,9 +279,21 @@ pub mod table1 {
 }
 
 /// Table II: the IWLS'91-style benchmark suite.
+///
+/// Since PR 5 the driver is *embarrassingly parallel*: every benchmark
+/// entry runs on a worker of a fixed-size pool ([`table2::run_jobs`]),
+/// each worker owning its own `hash_bdd::BddManager`s (one per checker
+/// run, as before), its own node/time budgets and protection roots, and
+/// its own HASH kernel (the term arena is thread-local). Nothing is
+/// shared between entries, so one benchmark's blow-up cannot evict
+/// another's cache or skew its peak-live sample — the verdict, step and
+/// peak-live columns are byte-identical at any job count; only the
+/// wall-clock fields vary.
 pub mod table2 {
     use super::*;
-    use hash_circuits::iwls::{generate, table2_benchmarks};
+    use hash_circuits::iwls::{generate, table2_benchmarks, Benchmark};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     /// One row of Table II.
     #[derive(Clone, Debug)]
@@ -289,6 +317,23 @@ pub mod table2 {
         pub sis: Timing,
         /// HASH formal retiming.
         pub hash: Timing,
+        /// Wall-clock seconds the whole entry (generation, retiming and
+        /// all five checker runs) took on its worker.
+        pub wall_seconds: f64,
+    }
+
+    /// The number of workers `table2 --jobs` defaults to: the machine's
+    /// available parallelism (1 when it cannot be determined).
+    pub fn default_jobs() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The default cluster limits of `table2 --sweep-cluster-limit`, the
+    /// EXPERIMENTS.md sweep that grounds [`default_cluster_limit`].
+    pub fn default_sweep_limits() -> Vec<usize> {
+        vec![500, 2_000, 10_000, 50_000]
     }
 
     /// The cluster-size bound (in BDD nodes) of the `eijk_part` column and
@@ -312,72 +357,204 @@ pub mod table2 {
     }
 
     /// Runs the Table-II experiment with the given node limit (other knobs
-    /// at their defaults).
+    /// at their defaults), sequentially.
     pub fn run(node_limit: usize) -> Vec<Row> {
         run_with(default_options().with_node_limit(node_limit))
     }
 
     /// Runs the Table-II experiment with full control over the van Eijk
-    /// limits. The `eijk`/`eijk_plus` columns honour `opts` verbatim
-    /// (including `opts.partition`, set by `table2 --partitioned`); the
-    /// `eijk_part` column always runs the basic checker partitioned at
-    /// `opts.partition`'s limit, or [`default_cluster_limit`] when `opts`
-    /// is monolithic — so a default run records the monolithic-vs-
-    /// partitioned ablation in one pass.
+    /// limits, sequentially ([`run_jobs`] with one worker).
     pub fn run_with(opts: EijkOptions) -> Vec<Row> {
-        let mut hash_engine = Hash::new().expect("theories install");
+        run_jobs(opts, 1)
+    }
+
+    /// One Table-II entry: generation, retiming and all five checker runs.
+    /// Everything the entry allocates — the BDD managers of the three van
+    /// Eijk runs, the SIS state sets, the HASH kernel's terms — is owned
+    /// here (or by the calling worker, for `hash_engine`), which is what
+    /// makes the pool in [`run_selected_jobs`] embarrassingly parallel.
+    fn run_one(b: &Benchmark, hash_engine: &mut Hash, opts: EijkOptions) -> Row {
+        let entry_start = Instant::now();
         let part_opts = opts.partitioned(opts.partition.unwrap_or_else(default_cluster_limit));
-        table2_benchmarks()
+        let netlist = generate(b);
+        let st = stats(&netlist);
+        let cut = maximal_forward_cut(&netlist);
+        let retimed = forward_retime(&netlist, &cut).expect("benchmark is retimable");
+
+        let eijk = timing_of(&check_equivalence_eijk(&netlist, &retimed, opts));
+        let eijk_plus = timing_of(&check_equivalence_eijk_plus(&netlist, &retimed, opts));
+        // Under --partitioned at the same cluster limit the Eijk
+        // and EijkP configurations coincide; reuse the run instead
+        // of traversing (or blowing up) a second time.
+        let eijk_part = if opts.partition == part_opts.partition {
+            eijk.clone()
+        } else {
+            timing_of(&check_equivalence_eijk(&netlist, &retimed, part_opts))
+        };
+        let sis = timing_of(&check_equivalence_sis(
+            &netlist,
+            &retimed,
+            SisOptions {
+                max_states: 1 << 14,
+                max_input_bits: 12,
+            },
+        ));
+        let start = Instant::now();
+        let hash = match hash_engine.formal_retime(&netlist, &cut, RetimeOptions::default()) {
+            Ok(_) => Timing::ok(start.elapsed()),
+            Err(_) => Timing::flat(start.elapsed().as_secs_f64(), "fail"),
+        };
+        Row {
+            name: b.name.to_string(),
+            flip_flops: st.flip_flops,
+            gates: st.gate_estimate,
+            eijk,
+            eijk_plus,
+            eijk_part,
+            sis,
+            hash,
+            wall_seconds: entry_start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs the full Table-II suite on a pool of `jobs` workers
+    /// ([`run_selected_jobs`] over [`table2_benchmarks`]).
+    pub fn run_jobs(opts: EijkOptions, jobs: usize) -> Vec<Row> {
+        run_selected_jobs(&table2_benchmarks(), opts, jobs)
+    }
+
+    /// Runs the given benchmark entries on a pool of `jobs` worker threads
+    /// (clamped to at least 1 and at most the entry count). Work items are
+    /// claimed from a shared counter; each worker owns its HASH kernel
+    /// (the term arena is thread-local) and every checker run inside an
+    /// entry builds its own BDD manager with its own budgets and
+    /// protection roots, so entries interact through nothing but the
+    /// counter. Results land in their input slot: the output order is the
+    /// input order regardless of completion order, and the verdict / step /
+    /// peak-live columns are byte-identical to a sequential run — only the
+    /// wall-clock fields (and, under `opts.time_limit`, deadline-dependent
+    /// verdicts) can differ.
+    pub fn run_selected_jobs(benchmarks: &[Benchmark], opts: EijkOptions, jobs: usize) -> Vec<Row> {
+        pool_map(
+            benchmarks.len(),
+            jobs,
+            || Hash::new().expect("theories install"),
+            |hash_engine, i| run_one(&benchmarks[i], hash_engine, opts),
+        )
+    }
+
+    /// The shared worker pool of the parallel drivers: runs `count`
+    /// independent work items on `jobs` threads (clamped to at least 1 and
+    /// at most `count`), returning results in *item order* regardless of
+    /// completion order. Each worker claims items from a shared atomic
+    /// counter — so the slowest item, not a static chunking, bounds the
+    /// makespan — and owns one instance of per-worker state built by
+    /// `init` on the worker's own thread (the HASH kernel, whose term
+    /// arena is thread-local, rides in here).
+    fn pool_map<S, R, I, F>(count: usize, jobs: usize, init: I, work: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        let jobs = jobs.clamp(1, count.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        *slots[i].lock().expect("result slot poisoned") = Some(work(&mut state, i));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled")
+            })
+            .collect()
+    }
+
+    /// One cell of the cluster-limit sweep: the partitioned basic van Eijk
+    /// checker on one benchmark at one cluster limit.
+    #[derive(Clone, Debug)]
+    pub struct SweepRow {
+        /// The benchmark name.
+        pub name: String,
+        /// Flip-flop count.
+        pub flip_flops: usize,
+        /// Gate count.
+        pub gates: usize,
+        /// One timing per swept cluster limit, aligned with the `limits`
+        /// slice passed to [`sweep_cluster_limits`].
+        pub entries: Vec<Timing>,
+    }
+
+    /// The cluster-limit sweep behind `table2 --sweep-cluster-limit`: the
+    /// partitioned basic van Eijk checker over every benchmark × every
+    /// cluster limit, on a pool of `jobs` workers (each benchmark × limit
+    /// cell is one work item — the sweep is as parallel as the table
+    /// itself). Rows come back in benchmark order, cells in `limits`
+    /// order, regardless of completion order.
+    pub fn sweep_cluster_limits(limits: &[usize], opts: EijkOptions, jobs: usize) -> Vec<SweepRow> {
+        let benchmarks = table2_benchmarks();
+        // Generate and retime each benchmark once up front (netlists are
+        // read-only plain data, shared by reference into the workers):
+        // the per-cell work is the checker run, not the circuit prep.
+        let prepared: Vec<(Netlist, Netlist)> = benchmarks
             .iter()
             .map(|b| {
                 let netlist = generate(b);
-                let st = stats(&netlist);
                 let cut = maximal_forward_cut(&netlist);
                 let retimed = forward_retime(&netlist, &cut).expect("benchmark is retimable");
-
-                let eijk = timing_of(&check_equivalence_eijk(&netlist, &retimed, opts));
-                let eijk_plus = timing_of(&check_equivalence_eijk_plus(&netlist, &retimed, opts));
-                // Under --partitioned at the same cluster limit the Eijk
-                // and EijkP configurations coincide; reuse the run instead
-                // of traversing (or blowing up) a second time.
-                let eijk_part = if opts.partition == part_opts.partition {
-                    eijk.clone()
-                } else {
-                    timing_of(&check_equivalence_eijk(&netlist, &retimed, part_opts))
-                };
-                let sis = timing_of(&check_equivalence_sis(
-                    &netlist,
-                    &retimed,
-                    SisOptions {
-                        max_states: 1 << 14,
-                        max_input_bits: 12,
-                    },
-                ));
-                let start = Instant::now();
-                let hash = match hash_engine.formal_retime(&netlist, &cut, RetimeOptions::default())
-                {
-                    Ok(_) => Timing::ok(start.elapsed()),
-                    Err(_) => Timing {
-                        seconds: start.elapsed().as_secs_f64(),
-                        status: "fail",
-                    },
-                };
-                Row {
+                (netlist, retimed)
+            })
+            .collect();
+        let mut cells = pool_map(
+            benchmarks.len() * limits.len(),
+            jobs,
+            || (),
+            |(), cell| {
+                let (netlist, retimed) = &prepared[cell / limits.len()];
+                let limit = limits[cell % limits.len()];
+                timing_of(&check_equivalence_eijk(
+                    netlist,
+                    retimed,
+                    opts.partitioned(limit),
+                ))
+            },
+        )
+        .into_iter();
+        benchmarks
+            .iter()
+            .zip(prepared.iter())
+            .map(|(b, (netlist, _))| {
+                let st = stats(netlist);
+                SweepRow {
                     name: b.name.to_string(),
                     flip_flops: st.flip_flops,
                     gates: st.gate_estimate,
-                    eijk,
-                    eijk_plus,
-                    eijk_part,
-                    sis,
-                    hash,
+                    entries: (&mut cells).take(limits.len()).collect(),
                 }
             })
             .collect()
     }
 
-    /// Renders the rows as a machine-readable JSON document.
-    pub fn render_json(rows: &[Row], options: &EijkOptions) -> String {
+    /// Renders the rows as a machine-readable JSON document. `jobs` is the
+    /// worker count the rows were produced with; it and the wall-time
+    /// fields (`wall_seconds` per row, `seconds` per column) are the only
+    /// run-dependent parts of the document — verdicts, steps and peak-live
+    /// are byte-identical at any job count.
+    pub fn render_json(rows: &[Row], options: &EijkOptions, jobs: usize) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"experiment\": \"table2\",\n");
@@ -386,15 +563,16 @@ pub mod table2 {
             options.node_limit, options.max_iterations, options.max_refinements, options.reorder
         ));
         out.push_str(&format!(
-            "  \"partitioned\": {}, \"cluster_limit\": {},\n",
+            "  \"partitioned\": {}, \"cluster_limit\": {}, \"jobs\": {},\n",
             options.partition.is_some(),
-            options.partition.unwrap_or_else(default_cluster_limit)
+            options.partition.unwrap_or_else(default_cluster_limit),
+            jobs
         ));
         out.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {
             let comma = if i + 1 == rows.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"flip_flops\": {}, \"gates\": {}, \"eijk\": {}, \"eijk_plus\": {}, \"eijk_part\": {}, \"sis\": {}, \"hash\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"flip_flops\": {}, \"gates\": {}, \"eijk\": {}, \"eijk_plus\": {}, \"eijk_part\": {}, \"sis\": {}, \"hash\": {}, \"wall_seconds\": {}}}{}\n",
                 crate::json::esc(&r.name),
                 r.flip_flops,
                 r.gates,
@@ -403,10 +581,74 @@ pub mod table2 {
                 r.eijk_part.to_json(),
                 r.sis.to_json(),
                 r.hash.to_json(),
+                crate::json::num(r.wall_seconds),
                 comma
             ));
         }
         out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the cluster-limit sweep as a machine-readable JSON document
+    /// (`limits` must be the slice the sweep ran with).
+    pub fn render_sweep_json(
+        rows: &[SweepRow],
+        limits: &[usize],
+        options: &EijkOptions,
+        jobs: usize,
+    ) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"table2_cluster_sweep\",\n");
+        out.push_str(&format!(
+            "  \"node_limit\": {}, \"max_iterations\": {}, \"max_refinements\": {}, \"reorder\": {}, \"jobs\": {},\n",
+            options.node_limit, options.max_iterations, options.max_refinements, options.reorder, jobs
+        ));
+        out.push_str(&format!(
+            "  \"cluster_limits\": [{}],\n",
+            limits
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            let cells: Vec<String> = limits
+                .iter()
+                .zip(r.entries.iter())
+                .map(|(l, t)| format!("\"limit_{}\": {}", l, t.to_json()))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"flip_flops\": {}, \"gates\": {}, {}}}{}\n",
+                crate::json::esc(&r.name),
+                r.flip_flops,
+                r.gates,
+                cells.join(", "),
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Formats the cluster-limit sweep as a text table (one column per
+    /// swept limit).
+    pub fn render_sweep(rows: &[SweepRow], limits: &[usize]) -> String {
+        let mut out = String::from("name\tflipflops\tgates");
+        for l in limits {
+            out.push_str(&format!("\tEijkP@{l}"));
+        }
+        out.push('\n');
+        for r in rows {
+            out.push_str(&format!("{}\t{}\t{}", r.name, r.flip_flops, r.gates));
+            for t in &r.entries {
+                out.push('\t');
+                out.push_str(&t.render());
+            }
+            out.push('\n');
+        }
         out
     }
 
@@ -466,10 +708,7 @@ pub mod scaling {
                 let start = Instant::now();
                 let hash = match hash_engine.formal_retime(&m, &cut, RetimeOptions::default()) {
                     Ok(_) => Timing::ok(start.elapsed()),
-                    Err(_) => Timing {
-                        seconds: start.elapsed().as_secs_f64(),
-                        status: "fail",
-                    },
+                    Err(_) => Timing::flat(start.elapsed().as_secs_f64(), "fail"),
                 };
                 Row {
                     width: w,
@@ -655,10 +894,7 @@ mod tests {
 
     #[test]
     fn timing_rendering() {
-        let t = Timing {
-            seconds: 1.5,
-            status: "limit",
-        };
+        let t = Timing::flat(1.5, "limit");
         assert_eq!(t.render(), "-");
         let ok = Timing::ok(Duration::from_millis(250));
         assert_eq!(ok.render(), "0.250");

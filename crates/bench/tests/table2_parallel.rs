@@ -1,0 +1,128 @@
+//! The parallel Table-II driver must be a pure speed-up: at any job count
+//! the deterministic columns (verdict/status, traversal steps, post-GC
+//! peak-live) are byte-identical to a sequential run, rows come back in
+//! benchmark order regardless of completion order, and the cluster-limit
+//! sweep obeys the same contract cell-for-cell.
+//!
+//! The checks run on a trimmed benchmark subset at a small node limit so
+//! the monolithic blow-ups are cheap; what matters here is the pool
+//! plumbing, not the blow-up frontier (EXPERIMENTS.md records the full
+//! table at the real budget).
+
+use hash_bench::table2;
+use hash_circuits::iwls::{table2_benchmarks, Benchmark};
+use hash_equiv::prelude::*;
+
+/// A fast configuration: small live-node budget (the monolithic runs on
+/// these benchmarks blow up quickly and deterministically), reordering on.
+fn fast_options() -> EijkOptions {
+    table2::default_options().with_node_limit(30_000)
+}
+
+fn subset(names: &[&str]) -> Vec<Benchmark> {
+    table2_benchmarks()
+        .into_iter()
+        .filter(|b| names.contains(&b.name))
+        .collect()
+}
+
+/// The deterministic part of a timing column, as a comparable value.
+fn fingerprint(t: &hash_bench::Timing) -> (String, usize, Option<usize>) {
+    (t.status.to_string(), t.steps, t.peak_live)
+}
+
+#[test]
+fn parallel_rows_match_sequential_rows() {
+    let benchmarks = subset(&["s344", "s444"]);
+    assert_eq!(benchmarks.len(), 2, "trimmed suite resolves");
+    let sequential = table2::run_selected_jobs(&benchmarks, fast_options(), 1);
+    let parallel = table2::run_selected_jobs(&benchmarks, fast_options(), 3);
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(parallel.iter()) {
+        assert_eq!(s.name, p.name, "deterministic row order");
+        assert_eq!((s.flip_flops, s.gates), (p.flip_flops, p.gates));
+        for (label, ts, tp) in [
+            ("eijk", &s.eijk, &p.eijk),
+            ("eijk_plus", &s.eijk_plus, &p.eijk_plus),
+            ("eijk_part", &s.eijk_part, &p.eijk_part),
+            ("sis", &s.sis, &p.sis),
+            ("hash", &s.hash, &p.hash),
+        ] {
+            assert_eq!(
+                fingerprint(ts),
+                fingerprint(tp),
+                "{}: {label} column differs between jobs=1 and jobs=3",
+                s.name
+            );
+        }
+        assert!(s.wall_seconds > 0.0 && p.wall_seconds > 0.0);
+    }
+    // The JSON documents agree byte-for-byte once the run-dependent
+    // fields (every wall-time, the job count) are stripped: each such
+    // key's numeric value is replaced by a placeholder.
+    fn strip_key(text: &str, key: &str) -> String {
+        let mut out = String::new();
+        let mut rest = text;
+        while let Some(pos) = rest.find(key) {
+            out.push_str(&rest[..pos]);
+            out.push_str(key);
+            out.push('X');
+            let after = &rest[pos + key.len()..];
+            let end = after
+                .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+                .unwrap_or(after.len());
+            rest = &after[end..];
+        }
+        out.push_str(rest);
+        out
+    }
+    let strip = |text: &str| -> String {
+        let t = strip_key(text, "\"seconds\": ");
+        let t = strip_key(&t, "\"wall_seconds\": ");
+        strip_key(&t, "\"jobs\": ")
+    };
+    let opts = fast_options();
+    let js = strip(&table2::render_json(&sequential, &opts, 1));
+    let jp = strip(&table2::render_json(&parallel, &opts, 3));
+    assert_eq!(js, jp, "stripped JSON is byte-identical");
+    assert_ne!(
+        table2::render_json(&sequential, &opts, 1),
+        table2::render_json(&sequential, &opts, 3),
+        "the jobs field is recorded"
+    );
+}
+
+#[test]
+fn oversized_job_count_is_clamped_and_deterministic() {
+    let benchmarks = subset(&["s344"]);
+    let rows = table2::run_selected_jobs(&benchmarks, fast_options(), 64);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].name, "s344");
+    // The partitioned column completes within the small budget (pinned by
+    // the PR 4 results); the monolithic columns blow up against it.
+    assert_eq!(rows[0].eijk_part.status, "ok");
+    assert_eq!(rows[0].eijk.status, "limit");
+}
+
+#[test]
+fn cluster_sweep_rows_are_ordered_and_deterministic() {
+    let limits = [500usize, 2_000];
+    let opts = fast_options();
+    let seq = table2::sweep_cluster_limits(&limits, opts, 1);
+    let par = table2::sweep_cluster_limits(&limits, opts, 3);
+    let names: Vec<&str> = seq.iter().map(|r| r.name.as_str()).collect();
+    let expected: Vec<&str> = table2_benchmarks().iter().map(|b| b.name).collect();
+    assert_eq!(names, expected, "rows in benchmark order");
+    for (s, p) in seq.iter().zip(par.iter()) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(s.entries.len(), limits.len());
+        for (ts, tp) in s.entries.iter().zip(p.entries.iter()) {
+            assert_eq!(fingerprint(ts), fingerprint(tp), "{}", s.name);
+        }
+    }
+    let rendered = table2::render_sweep(&seq, &limits);
+    assert!(rendered.contains("EijkP@500") && rendered.contains("EijkP@2000"));
+    let json = table2::render_sweep_json(&seq, &limits, &opts, 1);
+    assert!(json.contains("\"cluster_limits\": [500, 2000]"));
+    assert!(json.contains("table2_cluster_sweep"));
+}

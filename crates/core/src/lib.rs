@@ -9,7 +9,7 @@
 //! * [`retiming_thm`] derives the universal retiming theorem once and for
 //!   all from the Automata theory's induction axiom — the work of the
 //!   formal-synthesis-tool designer.
-//! * [`synthesis`] provides the [`Hash`](synthesis::Hash) engine: the
+//! * [`synthesis`] provides the [`struct@Hash`] engine: the
 //!   four-step retiming procedure driven by untrusted heuristics
 //!   (`hash-retiming`), compound synthesis steps by transitivity, and the
 //!   "faulty heuristics cannot compromise correctness" behaviour.

@@ -1,6 +1,6 @@
 //! The HASH formal synthesis engine: correct-by-construction retiming.
 //!
-//! [`Hash`] bundles the logical theories (boolean, pair, Automata) and the
+//! [`struct@Hash`] bundles the logical theories (boolean, pair, Automata) and the
 //! once-derived universal retiming theorem, and exposes the formal
 //! synthesis steps of the paper:
 //!
@@ -10,7 +10,7 @@
 //!   evaluate the new initial state `f(q)`. The result is a kernel
 //!   [`Theorem`] equating the original and the retimed circuit terms,
 //!   together with the retimed netlist.
-//! * [`Hash::join_step`] — the logic-simplification step used to
+//! * [`Hash::join_step_of`] — the logic-simplification step used to
 //!   demonstrate *compound* synthesis steps (two theorems composed by a
 //!   constant-cost transitivity, Section III-A).
 //! * [`Hash::compound`] — composition of synthesis theorems by

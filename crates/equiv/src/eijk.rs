@@ -29,6 +29,22 @@ use hash_netlist::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Configuration shared by both van Eijk variants.
+///
+/// Build the options with the fluent setters — every knob is visible at
+/// the call site, and the options are `Copy`, so one base configuration
+/// can be specialised per run (the Table-II harness hands the same value
+/// to every worker of its parallel sweep):
+///
+/// ```
+/// use hash_equiv::prelude::*;
+///
+/// let base = EijkOptions::new(100_000, 500, 8).with_reorder(false);
+/// let partitioned = base.partitioned(DEFAULT_CLUSTER_LIMIT);
+/// assert_eq!(base.node_limit, 100_000);
+/// assert_eq!(base.partition, None, "monolithic by default");
+/// assert_eq!(partitioned.partition, Some(DEFAULT_CLUSTER_LIMIT));
+/// assert_eq!(partitioned.monolithic().partition, None);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct EijkOptions {
     /// The budget of *live* BDD nodes: the manager garbage collects (and

@@ -23,8 +23,20 @@
 //! All methods work on the bit-blasted gate-level form of the circuits
 //! (see [`hash_netlist::gate`]), report wall-clock time, iteration counts
 //! and peak structure sizes, and signal blow-ups as
-//! [`Verdict::ResourceLimit`](result::Verdict::ResourceLimit) — the dashes
+//! [`Verdict::ResourceLimit`] — the dashes
 //! in the paper's tables.
+//!
+//! ## Threading model
+//!
+//! Every checker entry point is a pure function of its two netlists and
+//! its options: each run builds its own [`machine::ProductMachine`] —
+//! which owns its [`hash_bdd::BddManager`], node/time budgets and
+//! protection roots — and drops it at the end. All of these types are
+//! [`Send`] (asserted at compile time below), so independent runs can be
+//! farmed out to worker threads, one machine per run per worker, with no
+//! shared state: one run's blow-up cannot evict another's operation cache
+//! or inflate its peak-live sample. This is how the Table-II harness
+//! parallelises its benchmark sweep (`table2 --jobs` in `hash-bench`).
 //!
 //! ## Example
 //!
@@ -42,7 +54,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod comb;
@@ -68,3 +80,16 @@ pub mod prelude {
 
 pub use error::EquivError;
 pub use result::{Verdict, VerificationResult};
+
+/// Compile-time proof of the threading model: a verification run and every
+/// structure it owns can be moved to a worker thread.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<machine::ProductMachine>();
+    assert_send::<partition::PartitionedTransition>();
+    assert_send::<eijk::EijkOptions>();
+    assert_send::<smv::SmvOptions>();
+    assert_send::<sis::SisOptions>();
+    assert_send::<VerificationResult>();
+    assert_send::<EquivError>();
+};

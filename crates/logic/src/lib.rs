@@ -8,13 +8,13 @@
 //! The crate provides:
 //!
 //! * [`types`] / [`term`] — the simply-typed lambda-calculus term language,
-//! * [`thm`] — the sealed [`Theorem`](thm::Theorem) type and the ~10
+//! * [`thm`] — the sealed [`Theorem`](struct@thm::Theorem) type and the ~10
 //!   primitive inference rules (the *only* way to create theorems),
 //! * [`theory`] — constant signatures, recorded axioms, conservative
 //!   definitions and trusted computation ("delta") rules,
 //! * [`conv`] — theorem-producing conversions (beta normalisation,
 //!   rewriting),
-//! * [`bool`] — the logical connectives by definition and the derived rules
+//! * [`mod@bool`] — the logical connectives by definition and the derived rules
 //!   (`CONJ`, `MP`, `DISCH`, `GEN`, `SPEC`, ...),
 //! * [`pair`] — products and projections used to bundle circuit signals.
 //!

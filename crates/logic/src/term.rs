@@ -73,7 +73,7 @@ pub struct ConstRef {
 }
 
 /// A shared, immutable, hash-consed term: a copyable handle (`u32` id)
-/// into the thread-local [`TermArena`].
+/// into the thread-local term arena (`TermArena`, crate-private).
 ///
 /// Equality and hashing are by id — O(1) — and, because the arena
 /// maximally shares structure, id equality *is* structural equality.

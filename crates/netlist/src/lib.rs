@@ -5,7 +5,7 @@
 //! simulation, bit-blasting and size statistics.
 //!
 //! A [`Netlist`] consists of primary inputs/outputs, combinational
-//! [`Cell`](cell::Cell)s and [`Register`](cell::Register)s with initial
+//! [`Cell`]s and [`Register`]s with initial
 //! values — exactly the "combinational part plus registers" view of a
 //! synchronous circuit the paper's Automata theory formalises. The same
 //! structure is shared by:

@@ -3,9 +3,9 @@
 //! The build container has no network access, so the workspace vendors the
 //! small slice of proptest that the property suites actually use:
 //!
-//! * the [`Strategy`] trait with `prop_map`/`boxed`, integer-range and
+//! * the [`strategy::Strategy`] trait with `prop_map`/`boxed`, integer-range and
 //!   tuple strategies, and a tiny `[a-z]`-style string pattern strategy,
-//! * [`BoxedStrategy`] and the `prop_oneof!` union combinator,
+//! * [`strategy::BoxedStrategy`] and the `prop_oneof!` union combinator,
 //! * the `proptest!`, `prop_assert!`, `prop_assert_eq!` and `prop_assume!`
 //!   macros,
 //! * a deterministic [`test_runner::TestRng`] (SplitMix64) so every run of
